@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Energy-per-inference ledger at the paper's operating point: the six
+ * Table 4 configurations against the commodity platforms, with ProSE's
+ * joules split by component. This is Figure 19's efficiency story
+ * restated in joules — the unit a datacenter pays for.
+ */
+
+#include "accel/energy_report.hh"
+#include "bench_util.hh"
+
+using namespace prose;
+using namespace prose::bench;
+
+int
+main()
+{
+    banner("Energy per inference (len 512, batch 128)");
+
+    const BertShape shape = operatingPoint();
+
+    Table table({ "platform", "J/inference", "arrays(J/inf)",
+                  "host+DRAM(J/inf)", "link(J/inf)" });
+    for (const ProseConfig &config :
+         { ProseConfig::bestPerf(), ProseConfig::mostEfficient(),
+           ProseConfig::homogeneous(), ProseConfig::bestPerfPlus(),
+           ProseConfig::homogeneousPlus() }) {
+        PerfSim sim(config);
+        const SimReport report = sim.run(shape);
+        const EnergyReport energy = buildEnergyReport(config, report);
+        double arrays = 0.0;
+        for (std::size_t i = 0; i < 3; ++i)
+            arrays += energy.arrayBusyJoules[i] +
+                      energy.arrayIdleJoules[i];
+        const double per_inf = 1.0 / static_cast<double>(shape.batch);
+        table.addRow({ config.name,
+                       Table::fmt(energy.joulesPerInference(report), 3),
+                       Table::fmt(arrays * per_inf, 3),
+                       Table::fmt((energy.cpuJoules +
+                                   energy.dramJoules) * per_inf,
+                                  3),
+                       Table::fmt(energy.linkJoules * per_inf, 4) });
+    }
+
+    // Baselines: TDP x runtime / batch.
+    const OpTrace trace = synthesizeBertTrace(shape);
+    for (const auto &factory : { &makeA100, &makeTpuV2, &makeTpuV3 }) {
+        const auto platform = factory();
+        const PlatformResult result = platform->costTrace(trace);
+        const double joules_per_inf =
+            platform->watts() * result.acceleratedSeconds /
+            static_cast<double>(shape.batch);
+        table.addRow({ platform->name(),
+                       Table::fmt(joules_per_inf, 1), "-", "-", "-" });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference (Figure 19 restated): ProSE spends "
+                 "roughly one joule where the\nA100 spends tens and the "
+                 "TPUs spend hundreds — the Unified Buffer and\n"
+                 "full-chip activation costs the commodity platforms "
+                 "pay per token.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 4: impact of input sequence length on BERT inference runtime,
+ * heterogeneous ProSE vs a resource-equivalent homogeneous design of
+ * four 64x64 systolic arrays (both 16K PEs).
+ *
+ * Paper shape: both rise with length; the homogeneous curve steepens
+ * past a few hundred tokens because large arrays waste startup/drain on
+ * small attention matrices and lack SIMD/special-function lanes.
+ */
+
+#include "bench_util.hh"
+
+using namespace prose;
+using namespace prose::bench;
+
+int
+main()
+{
+    banner("Figure 4: runtime vs length, heterogeneous vs 4x64x64");
+
+    // Fixed number of sequences so runtime growth reflects length.
+    const std::uint64_t batch = 32;
+    Table table({ "len", "hetero(ms)", "homogeneous(ms)", "homo/hetero" });
+    for (std::uint64_t len :
+         { 64u, 128u, 256u, 384u, 512u, 768u, 1024u, 1536u, 2048u }) {
+        const BertShape shape{ 12, 768, 12, 3072, batch, len };
+        const double hetero =
+            simulate(ProseConfig::bestPerf(), shape).makespan;
+        const double homo =
+            simulate(ProseConfig::fourBy64Homogeneous(), shape).makespan;
+        table.addRow({ std::to_string(len), Table::fmt(hetero * 1e3, 2),
+                       Table::fmt(homo * 1e3, 2),
+                       Table::fmt(homo / hetero, 2) });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference: curves are close at short lengths; "
+                 "the homogeneous design's\nslope steepens at protein "
+                 "lengths (our crossover sits near ~700 tokens vs the\n"
+                 "paper's ~300 — see EXPERIMENTS.md).\n";
+    return 0;
+}

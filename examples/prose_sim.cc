@@ -1,0 +1,170 @@
+/**
+ * @file
+ * prose_sim — command-line driver for the performance simulator.
+ *
+ * Usage:
+ *   prose_sim [options]
+ *     --config NAME    bestPerf | mostEfficient | homogeneous |
+ *                      bestPerfPlus | homogeneousPlus   (default bestPerf)
+ *     --mix SPEC       custom mix, e.g. M64x2,G16x10,E16x22
+ *     --lanes M,G,E    lane partition for --mix (default 3,1,2)
+ *     --len N          input sequence length in tokens  (default 512)
+ *     --batch N        sequences per run                (default 128)
+ *     --threads N      software threads                 (default 32)
+ *     --link GB/s      host link bandwidth              (default 270)
+ *     --instances N    ProSE cards on the host          (default 1)
+ *     --csv            emit one CSV row instead of the report
+ *
+ * Examples:
+ *   prose_sim --len 1024 --batch 64
+ *   prose_sim --config homogeneous --link 540
+ *   for L in 128 256 512 1024 2048; do prose_sim --len $L --csv; done
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "accel/mix_parse.hh"
+#include "accel/system.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+using namespace prose;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--config NAME] [--len N] [--batch N] [--threads N]"
+                 " [--link GB/s] [--instances N] [--csv]\n";
+    std::exit(2);
+}
+
+ProseConfig
+configByName(const std::string &name)
+{
+    if (name == "bestPerf")
+        return ProseConfig::bestPerf();
+    if (name == "mostEfficient")
+        return ProseConfig::mostEfficient();
+    if (name == "homogeneous")
+        return ProseConfig::homogeneous();
+    if (name == "bestPerfPlus")
+        return ProseConfig::bestPerfPlus();
+    if (name == "mostEfficientPlus")
+        return ProseConfig::mostEfficientPlus();
+    if (name == "homogeneousPlus")
+        return ProseConfig::homogeneousPlus();
+    fatal("unknown config '", name,
+          "' (try bestPerf, mostEfficient, homogeneous, bestPerfPlus, "
+          "mostEfficientPlus, homogeneousPlus)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config_name = "bestPerf";
+    std::string mix_spec, lane_spec = "3,1,2";
+    std::uint64_t len = 512, batch = 128;
+    std::uint32_t threads = 32, instances = 1;
+    double link_gbps = 270.0;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--config")
+            config_name = value();
+        else if (arg == "--mix")
+            mix_spec = value();
+        else if (arg == "--lanes")
+            lane_spec = value();
+        else if (arg == "--len")
+            len = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--batch")
+            batch = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--threads")
+            threads = static_cast<std::uint32_t>(
+                std::strtoul(value(), nullptr, 10));
+        else if (arg == "--link")
+            link_gbps = std::strtod(value(), nullptr);
+        else if (arg == "--instances")
+            instances = static_cast<std::uint32_t>(
+                std::strtoul(value(), nullptr, 10));
+        else if (arg == "--csv")
+            csv = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(argv[0]);
+        else
+            usage(argv[0]);
+    }
+    if (len == 0 || batch == 0 || threads == 0 || instances == 0 ||
+        link_gbps <= 0.0) {
+        fatal("all numeric options must be positive");
+    }
+
+    SystemConfig system_config;
+    if (mix_spec.empty()) {
+        system_config.instance = configByName(config_name);
+        system_config.instance.link = LinkSpec::custom(link_gbps);
+    } else {
+        system_config.instance = configFromSpec(
+            mix_spec, lane_spec, LinkSpec::custom(link_gbps));
+        config_name = mix_spec;
+    }
+    system_config.instance.threads = threads;
+    system_config.instanceCount = instances;
+
+    const BertShape shape{ 12, 768, 12, 3072, batch, len };
+    const ProseSystem system(system_config);
+    const SystemReport report = system.run(shape);
+
+    if (csv) {
+        std::cout << config_name << ',' << len << ',' << batch << ','
+                  << threads << ',' << link_gbps << ',' << instances
+                  << ',' << report.makespan << ','
+                  << report.inferencesPerSecond() << ','
+                  << report.systemWatts << ',' << report.efficiency()
+                  << '\n';
+        return 0;
+    }
+
+    std::cout << "prose_sim\n=========\n\n";
+    Table table({ "metric", "value" });
+    table.addRow({ "instance", system_config.instance.describe() });
+    table.addRow({ "instances", std::to_string(instances) });
+    table.addRow({ "workload", "Protein BERT-base, batch " +
+                                   std::to_string(batch) + ", len " +
+                                   std::to_string(len) });
+    table.addRow({ "makespan",
+                   Table::fmt(report.makespan * 1e3, 2) + " ms" });
+    table.addRow({ "throughput",
+                   Table::fmt(report.inferencesPerSecond(), 1) +
+                       " inf/s" });
+    table.addRow({ "system power",
+                   Table::fmt(report.systemWatts, 1) + " W" });
+    table.addRow({ "efficiency",
+                   Table::fmt(report.efficiency(), 2) + " inf/s/W" });
+    table.addRow({ "host duty", Table::fmt(report.hostDuty, 3) });
+    for (std::size_t i = 0; i < report.perInstance.size(); ++i) {
+        const SimReport &inst = report.perInstance[i];
+        table.addRow(
+            { "instance " + std::to_string(i) + " util M/G/E",
+              Table::fmt(inst.utilization(ArrayType::M), 2) + " / " +
+                  Table::fmt(inst.utilization(ArrayType::G), 2) +
+                  " / " +
+                  Table::fmt(inst.utilization(ArrayType::E), 2) });
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The downstream tasks of Figure 2(b) beyond binding affinity:
+ * fluorescence (regression) and stability (classification), both as
+ * small heads on frozen Protein BERT features over synthetic ground
+ * truths — the "downstream/fine-tuning" half of the protein-discovery
+ * workflow.
+ *
+ * Build & run:  ./build/examples/protein_tasks
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "model/bert_model.hh"
+#include "model/downstream.hh"
+#include "model/tokenizer.hh"
+#include "protein/amino_acid.hh"
+#include "protein/fasta.hh"
+
+using namespace prose;
+
+namespace {
+
+/** Hidden fluorescence model: aromatic content drives brightness. */
+double
+trueFluorescence(const std::string &protein)
+{
+    double score = 0.0;
+    for (char residue : protein) {
+        const AminoAcid &aa = aminoAcid(residue);
+        score += 2.0 * aa.aromatic + 0.1 * aa.hydropathy;
+    }
+    return score / static_cast<double>(protein.size());
+}
+
+/** Hidden stability model: sufficient mean hydropathy (a folded
+ *  hydrophobic core) keeps the protein in its native conformation. */
+bool
+trueStability(const std::string &protein)
+{
+    double hydropathy = 0.0;
+    for (char residue : protein)
+        hydropathy += aminoAcid(residue).hydropathy;
+    return hydropathy / static_cast<double>(protein.size()) > -0.45;
+}
+
+Matrix
+featuresFor(const BertModel &model,
+            const std::vector<std::string> &proteins, std::size_t len)
+{
+    const AminoTokenizer tokenizer;
+    std::vector<std::vector<std::uint32_t>> tokens;
+    for (const auto &protein : proteins)
+        tokens.push_back(tokenizer.encode(protein, len));
+    return model.extractFeatures(tokens);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Protein BERT downstream tasks (Figure 2(b))\n"
+              << "===========================================\n\n";
+
+    Rng rng(40);
+    const std::size_t protein_len = 64, train_n = 120, test_n = 60;
+    std::vector<std::string> train_set, test_set;
+    for (std::size_t i = 0; i < train_n; ++i)
+        train_set.push_back(randomProtein(rng, protein_len));
+    for (std::size_t i = 0; i < test_n; ++i)
+        test_set.push_back(randomProtein(rng, protein_len));
+
+    BertConfig config = BertConfig::tiny();
+    config.maxSeqLen = 128;
+    const BertModel model(config, 17);
+    const Matrix x_train =
+        featuresFor(model, train_set, protein_len + 2);
+    const Matrix x_test = featuresFor(model, test_set, protein_len + 2);
+
+    // --- Fluorescence regression ---------------------------------------
+    std::vector<double> y_train, y_test;
+    for (const auto &protein : train_set)
+        y_train.push_back(trueFluorescence(protein));
+    for (const auto &protein : test_set)
+        y_test.push_back(trueFluorescence(protein));
+
+    RegressionHead fluorescence;
+    fluorescence.fit(x_train, y_train, 5.0);
+    const double rho =
+        spearman(fluorescence.predict(x_test), y_test);
+
+    // --- Stability classification --------------------------------------
+    std::vector<int> s_train, s_test;
+    for (const auto &protein : train_set)
+        s_train.push_back(trueStability(protein) ? 1 : 0);
+    for (const auto &protein : test_set)
+        s_test.push_back(trueStability(protein) ? 1 : 0);
+    int positives = 0;
+    for (int s : s_train)
+        positives += s;
+
+    LogisticHead stability;
+    LogisticHead::FitOptions options;
+    options.epochs = 2000;
+    options.learningRate = 0.3;
+    stability.fit(x_train, s_train, options);
+    const double accuracy = stability.accuracy(x_test, s_test);
+    const double base_rate =
+        std::max(positives, static_cast<int>(train_n) - positives) /
+        static_cast<double>(train_n);
+
+    Table table({ "task", "head", "test metric", "value", "baseline" });
+    table.addRow({ "fluorescence", "ridge regression", "Spearman rho",
+                   Table::fmt(rho, 3), "0 (random)" });
+    table.addRow({ "stability", "logistic", "accuracy",
+                   Table::fmt(accuracy, 3),
+                   Table::fmt(base_rate, 3) + " (majority)" });
+    table.print(std::cout);
+
+    std::cout << "\nBoth heads learn from frozen random-encoder "
+                 "features — the modularity the paper\nhighlights: "
+                 "swapping downstream models retargets the same "
+                 "accelerated encoder.\n";
+    return 0;
+}

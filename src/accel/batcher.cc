@@ -1,0 +1,80 @@
+#include "batcher.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+double
+BatchPlan::paddingOverhead() const
+{
+    return paddedTokens > 0
+               ? 1.0 - static_cast<double>(realTokens) / paddedTokens
+               : 0.0;
+}
+
+BatchPlan
+planBatches(const std::vector<std::size_t> &residue_lengths,
+            const BatcherSpec &spec)
+{
+    PROSE_ASSERT(!spec.buckets.empty(), "batcher needs buckets");
+    for (std::size_t i = 1; i < spec.buckets.size(); ++i)
+        PROSE_ASSERT(spec.buckets[i] > spec.buckets[i - 1],
+                     "buckets must be strictly increasing");
+    PROSE_ASSERT(spec.maxBatch > 0, "batcher needs a positive maxBatch");
+
+    // Group token lengths (residues + CLS + SEP) per bucket.
+    std::map<std::uint64_t, std::vector<std::uint64_t>> per_bucket;
+    for (std::size_t residues : residue_lengths) {
+        std::uint64_t tokens = static_cast<std::uint64_t>(residues) + 2;
+        std::uint64_t bucket = spec.buckets.back();
+        for (std::uint64_t candidate : spec.buckets) {
+            if (tokens <= candidate) {
+                bucket = candidate;
+                break;
+            }
+        }
+        // Overlong sequences truncate to the last bucket (the
+        // tokenizer's behavior).
+        tokens = std::min(tokens, bucket);
+        per_bucket[bucket].push_back(tokens);
+    }
+
+    BatchPlan plan;
+    plan.totalSequences = residue_lengths.size();
+    for (auto &[bucket, lengths] : per_bucket) {
+        for (std::size_t begin = 0; begin < lengths.size();
+             begin += spec.maxBatch) {
+            const std::size_t end =
+                std::min(lengths.size(), begin + spec.maxBatch);
+            LengthBatch batch;
+            batch.paddedLength = bucket;
+            batch.sequences = end - begin;
+            for (std::size_t i = begin; i < end; ++i)
+                batch.realTokens += lengths[i];
+            plan.realTokens += batch.realTokens;
+            plan.paddedTokens += batch.paddedLength * batch.sequences;
+            plan.batches.push_back(batch);
+        }
+    }
+    return plan;
+}
+
+double
+simulateBatchPlan(const BatchPlan &plan, const ProseConfig &config,
+                  const BertShape &model_shape)
+{
+    double total = 0.0;
+    PerfSim sim(config);
+    for (const LengthBatch &batch : plan.batches) {
+        BertShape shape = model_shape;
+        shape.batch = batch.sequences;
+        shape.seqLen = batch.paddedLength;
+        total += sim.run(shape).makespan;
+    }
+    return total;
+}
+
+} // namespace prose

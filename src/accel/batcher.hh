@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Length-bucketed batching of variable-length proteins. The paper
+ * evaluates fixed-length batches, but a deployed discovery engine
+ * ingests whole proteomes whose lengths span 30–2000+ residues; padding
+ * every sequence to the longest one wastes most of the accelerator.
+ * The batcher groups sequences into power-of-two-ish length buckets,
+ * pads within the bucket, and reports the padding overhead — then the
+ * per-bucket batches run through the performance simulator like any
+ * fixed-length workload.
+ */
+
+#ifndef PROSE_ACCEL_BATCHER_HH
+#define PROSE_ACCEL_BATCHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf_sim.hh"
+
+namespace prose {
+
+/** Batching policy. */
+struct BatcherSpec
+{
+    /** Bucket boundaries (padded sequence length includes CLS/SEP).
+     *  Sequences longer than the last bucket are truncated to it. */
+    std::vector<std::uint64_t> buckets{ 64, 128, 256, 512, 1024, 2048 };
+    /** Max sequences per simulated batch within one bucket. */
+    std::uint64_t maxBatch = 128;
+};
+
+/** One bucketed batch ready for simulation. */
+struct LengthBatch
+{
+    std::uint64_t paddedLength = 0; ///< bucket length (tokens)
+    std::uint64_t sequences = 0;    ///< sequences in the batch
+    std::uint64_t realTokens = 0;   ///< non-pad tokens (incl. CLS/SEP)
+
+    /** Tokens of padding introduced by the bucket. */
+    std::uint64_t padTokens() const
+    {
+        return paddedLength * sequences - realTokens;
+    }
+};
+
+/** Result of batching one workload. */
+struct BatchPlan
+{
+    std::vector<LengthBatch> batches;
+    std::uint64_t totalSequences = 0;
+    std::uint64_t realTokens = 0;
+    std::uint64_t paddedTokens = 0;
+
+    /** Fraction of streamed tokens that are padding. */
+    double paddingOverhead() const;
+};
+
+/** Bucket a list of raw protein lengths (residues, pre-CLS/SEP). */
+BatchPlan planBatches(const std::vector<std::size_t> &residue_lengths,
+                      const BatcherSpec &spec = BatcherSpec{});
+
+/**
+ * Simulate a batch plan on a ProSE configuration: each batch runs as a
+ * fixed-length workload; batches execute back to back (the engine is
+ * saturated by one plan at a time).
+ *
+ * @return total seconds for the whole plan
+ */
+double simulateBatchPlan(const BatchPlan &plan, const ProseConfig &config,
+                         const BertShape &model_shape);
+
+} // namespace prose
+
+#endif // PROSE_ACCEL_BATCHER_HH

@@ -1,0 +1,96 @@
+#include "link_model.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+LinkSpec
+LinkSpec::nvlink2At80()
+{
+    return LinkSpec{ "NVLink2.0@80% 240GB/s", gbps(240.0), 6 };
+}
+
+LinkSpec
+LinkSpec::nvlink2At90()
+{
+    return LinkSpec{ "NVLink2.0@90% 270GB/s", gbps(270.0), 6 };
+}
+
+LinkSpec
+LinkSpec::nvlink3At80()
+{
+    return LinkSpec{ "NVLink3.0@80% 480GB/s", gbps(480.0), 12 };
+}
+
+LinkSpec
+LinkSpec::nvlink3At90()
+{
+    return LinkSpec{ "NVLink3.0@90% 540GB/s", gbps(540.0), 12 };
+}
+
+LinkSpec
+LinkSpec::infinite()
+{
+    return LinkSpec{ "Infinite", 1e18, 6 };
+}
+
+LinkSpec
+LinkSpec::custom(double gigabytes_per_second)
+{
+    std::ostringstream name;
+    name << gigabytes_per_second << "GB/s";
+    return LinkSpec{ name.str(), gbps(gigabytes_per_second), 6 };
+}
+
+std::vector<LinkSpec>
+LinkSpec::paperSweep()
+{
+    return { nvlink2At80(), nvlink2At90(), nvlink3At80(), nvlink3At90(),
+             infinite() };
+}
+
+std::uint32_t
+LanePartition::lanesFor(ArrayType type) const
+{
+    switch (type) {
+      case ArrayType::M:
+        return mLanes;
+      case ArrayType::G:
+        return gLanes;
+      case ArrayType::E:
+        return eLanes;
+    }
+    return 0;
+}
+
+double
+LanePartition::bandwidthFor(ArrayType type, const LinkSpec &link) const
+{
+    PROSE_ASSERT(total() == link.lanes,
+                 "lane partition (", total(), ") does not cover the link (",
+                 link.lanes, " lanes)");
+    return lanesFor(type) * link.laneBytesPerSecond();
+}
+
+std::string
+LanePartition::describe() const
+{
+    std::ostringstream os;
+    os << "M:" << mLanes << " G:" << gLanes << " E:" << eLanes;
+    return os.str();
+}
+
+std::vector<LanePartition>
+LanePartition::enumerate(std::uint32_t lanes)
+{
+    PROSE_ASSERT(lanes >= 3, "need at least one lane per type");
+    std::vector<LanePartition> out;
+    for (std::uint32_t m = 1; m + 2 <= lanes; ++m)
+        for (std::uint32_t g = 1; m + g + 1 <= lanes; ++g)
+            out.push_back(LanePartition{ m, g, lanes - m - g });
+    return out;
+}
+
+} // namespace prose

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Host-accelerator interconnect model. ProSE streams everything over an
+ * NVLink-class link whose lanes are statically partitioned among the
+ * three systolic-array types (Section 4.2: 6 x 45 GB/s NVLink 2.0 lanes
+ * at a conservative 90% of peak). The evaluation sweeps NVLink 2.0/3.0
+ * at 80% / 90% achievable rates plus an infinite-bandwidth limit
+ * (Figures 18-20).
+ */
+
+#ifndef PROSE_ACCEL_LINK_MODEL_HH
+#define PROSE_ACCEL_LINK_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "systolic/array_config.hh"
+
+namespace prose {
+
+/** One host-accelerator link. */
+struct LinkSpec
+{
+    std::string name = "NVLink2-90";
+    double totalBytesPerSecond = gbps(270.0);
+    std::uint32_t lanes = 6;
+
+    /** Bandwidth of one lane. */
+    double laneBytesPerSecond() const
+    {
+        return totalBytesPerSecond / lanes;
+    }
+
+    /** NVLink 2.0 at 80% achievable: 240 GB/s over 6 lanes. */
+    static LinkSpec nvlink2At80();
+    /** NVLink 2.0 at 90% achievable: 270 GB/s over 6 lanes. */
+    static LinkSpec nvlink2At90();
+    /** NVLink 3.0 at 80% achievable: 480 GB/s over 12 lanes. */
+    static LinkSpec nvlink3At80();
+    /** NVLink 3.0 at 90% achievable: 540 GB/s over 12 lanes. */
+    static LinkSpec nvlink3At90();
+    /** Idealized infinite link (compute-bound limit). */
+    static LinkSpec infinite();
+
+    /** An arbitrary bandwidth with the NVLink 2.0 lane count. */
+    static LinkSpec custom(double gigabytes_per_second);
+
+    /** The five link points of Figures 18/19, in paper order. */
+    static std::vector<LinkSpec> paperSweep();
+};
+
+/** Static split of link lanes across the three array types. */
+struct LanePartition
+{
+    std::uint32_t mLanes = 2;
+    std::uint32_t gLanes = 1;
+    std::uint32_t eLanes = 3;
+
+    std::uint32_t total() const { return mLanes + gLanes + eLanes; }
+
+    /** Lanes feeding one array type. */
+    std::uint32_t lanesFor(ArrayType type) const;
+
+    /** Aggregate bandwidth available to one array type. */
+    double bandwidthFor(ArrayType type, const LinkSpec &link) const;
+
+    std::string describe() const;
+
+    /**
+     * Every partition of `lanes` into three positive shares (each type
+     * must be fed), for the DSE sweep.
+     */
+    static std::vector<LanePartition> enumerate(std::uint32_t lanes);
+};
+
+} // namespace prose
+
+#endif // PROSE_ACCEL_LINK_MODEL_HH

@@ -1,0 +1,101 @@
+#include "mix_parse.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace prose {
+
+namespace {
+
+/** Parse a non-negative integer; fatal with context otherwise. */
+std::uint32_t
+parseCount(const std::string &text, const std::string &context)
+{
+    if (text.empty())
+        fatal("missing number in ", context);
+    for (char ch : text)
+        if (!std::isdigit(static_cast<unsigned char>(ch)))
+            fatal("'", text, "' is not a number in ", context);
+    return static_cast<std::uint32_t>(std::stoul(text));
+}
+
+} // namespace
+
+std::vector<ArrayGroupSpec>
+parseMixSpec(const std::string &spec)
+{
+    std::vector<ArrayGroupSpec> groups;
+    for (const std::string &raw : split(spec, ',')) {
+        const std::string part = trim(raw);
+        if (part.empty())
+            fatal("empty group in mix spec '", spec, "'");
+        const char type_char =
+            static_cast<char>(std::toupper(part.front()));
+        const auto x_pos = part.find_first_of("xX", 1);
+        if (x_pos == std::string::npos)
+            fatal("group '", part, "' must look like M64x2");
+        const std::uint32_t dim =
+            parseCount(part.substr(1, x_pos - 1), "mix group dim");
+        const std::uint32_t count =
+            parseCount(part.substr(x_pos + 1), "mix group count");
+        if (count == 0)
+            fatal("group '", part, "' has a zero count");
+
+        ArrayGroupSpec group;
+        switch (type_char) {
+          case 'M':
+            group.geometry = ArrayGeometry::mType(dim);
+            break;
+          case 'G':
+            group.geometry = ArrayGeometry::gType(dim);
+            break;
+          case 'E':
+            group.geometry = ArrayGeometry::eType(dim);
+            break;
+          default:
+            fatal("unknown array type '", type_char,
+                  "' in mix group '", part, "' (use M, G, or E)");
+        }
+        group.count = count;
+        for (const ArrayGroupSpec &existing : groups)
+            if (existing.geometry.type == group.geometry.type)
+                fatal("type ", toString(group.geometry.type),
+                      " appears twice in mix spec '", spec, "'");
+        groups.push_back(group);
+    }
+    if (groups.empty())
+        fatal("empty mix spec");
+    return groups;
+}
+
+LanePartition
+parseLaneSpec(const std::string &spec)
+{
+    const auto parts = split(spec, ',');
+    if (parts.size() != 3)
+        fatal("lane spec '", spec, "' must be three numbers M,G,E");
+    LanePartition lanes;
+    lanes.mLanes = parseCount(trim(parts[0]), "lane spec");
+    lanes.gLanes = parseCount(trim(parts[1]), "lane spec");
+    lanes.eLanes = parseCount(trim(parts[2]), "lane spec");
+    if (lanes.mLanes == 0 || lanes.gLanes == 0 || lanes.eLanes == 0)
+        fatal("every type needs at least one lane in '", spec, "'");
+    return lanes;
+}
+
+ProseConfig
+configFromSpec(const std::string &mix_spec, const std::string &lane_spec,
+               const LinkSpec &link)
+{
+    ProseConfig config;
+    config.name = mix_spec;
+    config.groups = parseMixSpec(mix_spec);
+    config.link = link;
+    config.lanes = parseLaneSpec(lane_spec);
+    config.validate();
+    return config;
+}
+
+} // namespace prose

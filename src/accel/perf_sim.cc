@@ -1,0 +1,297 @@
+#include "perf_sim.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+ArrayType
+arrayTypeFor(DataflowKind kind)
+{
+    switch (kind) {
+      case DataflowKind::Dataflow1:
+        return ArrayType::M;
+      case DataflowKind::Dataflow2:
+        return ArrayType::G;
+      case DataflowKind::Dataflow3:
+        return ArrayType::E;
+      case DataflowKind::Host:
+        break;
+    }
+    panic("host task has no array type");
+}
+
+std::size_t
+typeIndex(ArrayType type)
+{
+    switch (type) {
+      case ArrayType::M:
+        return 0;
+      case ArrayType::G:
+        return 1;
+      case ArrayType::E:
+        return 2;
+    }
+    return 0;
+}
+
+double
+SimReport::inferencesPerSecond() const
+{
+    return makespan > 0.0 ? static_cast<double>(inferences) / makespan
+                          : 0.0;
+}
+
+double
+SimReport::utilization(ArrayType type) const
+{
+    const std::size_t idx = typeIndex(type);
+    if (makespan <= 0.0 || typeCounts[idx] == 0)
+        return 0.0;
+    return typeBusySeconds[idx] / (makespan * typeCounts[idx]);
+}
+
+double
+SimReport::achievedFlops() const
+{
+    return makespan > 0.0 ? totalFlops / makespan : 0.0;
+}
+
+PerfSim::PerfSim(ProseConfig config)
+    : PerfSim(std::move(config), TimingModel{})
+{
+    timing_ = TimingModel(config_.partialInputBuffer);
+}
+
+PerfSim::PerfSim(ProseConfig config, TimingModel timing, HostModel host,
+                 SimOptions options)
+    : config_(std::move(config)), timing_(timing), host_(host),
+      options_(options)
+{
+    config_.validate();
+}
+
+PerfSim::TaskSeconds
+PerfSim::accelTaskSeconds(const DataflowTask &task,
+                          const ArrayGeometry &geometry,
+                          std::uint32_t pool_count, double bandwidth,
+                          TaskCost &cost_out) const
+{
+    cost_out = timing_.costTask(task, geometry);
+    // Output tiles are independent, so the pool's arrays split them
+    // evenly; compute time divides by the pool size while the stream
+    // times see the pool's aggregate lane share.
+    const double compute =
+        cost_out.computeSeconds(geometry) / pool_count;
+    const double stream_in =
+        static_cast<double>(cost_out.bytesIn) / bandwidth;
+    const double stream_out =
+        static_cast<double>(cost_out.bytesOut) / bandwidth;
+    TaskSeconds seconds;
+    seconds.arraySeconds = std::max({ compute, stream_in, stream_out });
+    if (cost_out.hostSoftmaxElems > 0) {
+        // Dataflow 3 serializes the issuing thread through the host
+        // softmax between its two BMMs, but no accumulator state is
+        // live during the trip, so the array itself can serve other
+        // threads meanwhile.
+        seconds.threadExtraSeconds =
+            host_.softmaxSeconds(cost_out.hostSoftmaxElems);
+    }
+    return seconds;
+}
+
+SimReport
+PerfSim::run(const BertShape &shape) const
+{
+    PROSE_ASSERT(shape.batch > 0, "empty batch");
+    // Slice the batch across threads as evenly as possible; threads
+    // beyond the batch size stay idle.
+    const std::uint64_t used_threads =
+        std::min<std::uint64_t>(config_.threads, shape.batch);
+    std::vector<std::vector<DataflowTask>> thread_tasks;
+    DataflowBuilder builder;
+    for (std::uint64_t t = 0; t < used_threads; ++t) {
+        BertShape slice = shape;
+        slice.batch = shape.batch / used_threads +
+                      (t < shape.batch % used_threads ? 1 : 0);
+        if (slice.batch == 0)
+            continue;
+        thread_tasks.push_back(builder.build(synthesizeBertTrace(slice)));
+    }
+    SimReport report = runTasks(thread_tasks);
+    report.inferences = shape.batch;
+    return report;
+}
+
+SimReport
+PerfSim::runDecoder(const DecoderShape &shape) const
+{
+    PROSE_ASSERT(shape.batch > 0, "empty batch");
+    const std::uint64_t used_threads =
+        std::min<std::uint64_t>(config_.threads, shape.batch);
+    std::vector<std::vector<DataflowTask>> thread_tasks;
+    DataflowBuilder builder;
+    for (std::uint64_t t = 0; t < used_threads; ++t) {
+        DecoderShape slice = shape;
+        slice.batch = shape.batch / used_threads +
+                      (t < shape.batch % used_threads ? 1 : 0);
+        if (slice.batch == 0)
+            continue;
+        thread_tasks.push_back(
+            builder.build(synthesizeDecoderTrace(slice)));
+    }
+    SimReport report = runTasks(thread_tasks);
+    report.inferences = shape.batch;
+    return report;
+}
+
+SimReport
+PerfSim::runTasks(
+    const std::vector<std::vector<DataflowTask>> &thread_tasks) const
+{
+    SimReport report;
+
+    // Group the array instances into the three type pools. Within a
+    // pool all arrays share one geometry (the configs we model never
+    // mix sizes within a type), so the pool is characterized by its
+    // geometry, its count, and its aggregate lane share.
+    const std::vector<ArrayGeometry> instances = config_.instances();
+    std::array<const ArrayGeometry *, 3> pool_geometry{};
+    for (const auto &geom : instances) {
+        const std::size_t idx = typeIndex(geom.type);
+        ++report.typeCounts[idx];
+        if (!pool_geometry[idx]) {
+            pool_geometry[idx] = &geom;
+        } else {
+            PROSE_ASSERT(pool_geometry[idx]->dim == geom.dim,
+                         "mixed array sizes within one type are not "
+                         "supported by the pooled scheduler");
+        }
+    }
+
+    std::array<double, 3> pool_bw{};
+    for (std::size_t idx = 0; idx < 3; ++idx) {
+        const ArrayType type = idx == 0 ? ArrayType::M
+                               : idx == 1 ? ArrayType::G
+                                          : ArrayType::E;
+        if (report.typeCounts[idx] > 0)
+            pool_bw[idx] =
+                config_.lanes.bandwidthFor(type, config_.link);
+    }
+
+    // Pool availability, per-type I/O buffer mutexes, host slots.
+    std::array<double, 3> pool_free{ { 0.0, 0.0, 0.0 } };
+    std::array<double, 3> io_free{ { 0.0, 0.0, 0.0 } };
+    std::vector<double> host_free(host_.spec().slots, 0.0);
+
+    // Thread cursors.
+    struct ThreadState
+    {
+        std::size_t next = 0;
+        double readyAt = 0.0;
+    };
+    std::vector<ThreadState> threads(thread_tasks.size());
+
+    const double inf = std::numeric_limits<double>::infinity();
+    while (true) {
+        // Pick the thread whose next task can start earliest.
+        double best_start = inf;
+        std::size_t best_thread = 0;
+        int best_array = -1;
+        std::size_t best_host_slot = 0;
+
+        for (std::size_t t = 0; t < threads.size(); ++t) {
+            ThreadState &ts = threads[t];
+            if (ts.next >= thread_tasks[t].size())
+                continue;
+            const DataflowTask &task = thread_tasks[t][ts.next];
+            double start;
+            int array_idx = -1;
+            std::size_t host_slot = 0;
+            if (task.kind == DataflowKind::Host) {
+                const auto slot_it =
+                    std::min_element(host_free.begin(), host_free.end());
+                host_slot = static_cast<std::size_t>(
+                    slot_it - host_free.begin());
+                start = std::max(ts.readyAt, *slot_it);
+            } else {
+                const ArrayType type = arrayTypeFor(task.kind);
+                const std::size_t idx = typeIndex(type);
+                PROSE_ASSERT(report.typeCounts[idx] > 0,
+                             "no array provisioned for ",
+                             toString(task.kind));
+                array_idx = static_cast<int>(idx);
+                start = std::max({ ts.readyAt, pool_free[idx],
+                                   io_free[idx] });
+            }
+            if (start < best_start) {
+                best_start = start;
+                best_thread = t;
+                best_array = array_idx;
+                best_host_slot = host_slot;
+            }
+        }
+        if (best_start == inf)
+            break; // all threads drained
+
+        ThreadState &ts = threads[best_thread];
+        const DataflowTask &task = thread_tasks[best_thread][ts.next];
+        double duration;
+        if (task.kind == DataflowKind::Host) {
+            duration = host_.hostOpSeconds(task.ops.front());
+            host_free[best_host_slot] = best_start + duration;
+            report.hostBusySeconds += duration;
+        } else {
+            const std::size_t idx = static_cast<std::size_t>(best_array);
+            TaskCost cost;
+            const TaskSeconds seconds = accelTaskSeconds(
+                task, *pool_geometry[idx], report.typeCounts[idx],
+                pool_bw[idx], cost);
+            duration = seconds.arraySeconds + seconds.threadExtraSeconds;
+            // The dispatching thread holds the type's I/O buffer mutex
+            // while it sets up the transfer; the pool is released as
+            // soon as its occupancy ends (the host-softmax tail of a
+            // Dataflow 3 only blocks the issuing thread).
+            io_free[idx] = best_start + options_.ioLockSeconds;
+            pool_free[idx] = best_start + seconds.arraySeconds;
+            report.typeBusySeconds[idx] +=
+                seconds.arraySeconds * report.typeCounts[idx];
+            report.bytesIn += cost.bytesIn;
+            report.bytesOut += cost.bytesOut;
+            report.hostBusySeconds += seconds.threadExtraSeconds;
+        }
+        report.totalFlops += task.flops();
+        ++report.taskCount;
+        const double end = best_start + duration;
+        ts.readyAt = end;
+        ++ts.next;
+        report.makespan = std::max(report.makespan, end);
+
+        if (options_.recordSchedule) {
+            ScheduledItem item;
+            item.thread = static_cast<std::uint32_t>(best_thread);
+            item.kind = task.kind;
+            item.sublayer = task.sublayer;
+            item.layer = task.layer;
+            item.arrayIndex = best_array;
+            item.start = best_start;
+            item.end = end;
+            item.poolEnd = best_array >= 0
+                               ? pool_free[static_cast<std::size_t>(
+                                     best_array)]
+                               : end;
+            report.schedule.push_back(item);
+        }
+    }
+
+    if (report.makespan > 0.0) {
+        report.cpuDuty = std::min(
+            1.0, report.hostBusySeconds /
+                     (report.makespan * host_.spec().slots));
+    }
+    return report;
+}
+
+} // namespace prose

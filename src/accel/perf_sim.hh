@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The ProSE cycle-accurate performance simulator (Figure 15, right):
+ * a discrete-event model comprising
+ *
+ *  - a thread-launch model: the batch is sliced across N software
+ *    threads, each of which walks the model's dataflow chain
+ *    (1 -> 3 -> 1 -> 2 -> 1 per layer, Figure 8) in order;
+ *  - an orchestration/scheduling model: each dataflow task waits for
+ *    the systolic-array pool of its type (DF1 -> M, DF2 -> G,
+ *    DF3 -> E) and for that type's I/O buffer mutex (thread
+ *    contention). A dataflow's output tiles are mutually independent,
+ *    so the orchestrator spreads them data-parallel across every array
+ *    of the type — the pool executes one task at a time at the
+ *    aggregate rate of its arrays (this is what makes many small
+ *    arrays deliver their aggregate SIMD-ALU advantage);
+ *  - a host-accelerator communication model: a task streams over its
+ *    type's statically-partitioned lane share; its duration is the
+ *    maximum of pooled compute time and stream-in/stream-out times
+ *    (the Dataflow 3 host-softmax trip blocks only the issuing
+ *    thread);
+ *  - a host-compute model for softmax sum/divide and Other-class ops.
+ *
+ * Per-task cycle counts come from the closed-form TimingModel, which is
+ * validated against the register-accurate SystolicArray.
+ */
+
+#ifndef PROSE_ACCEL_PERF_SIM_HH
+#define PROSE_ACCEL_PERF_SIM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "host_model.hh"
+#include "prose_config.hh"
+#include "systolic/timing_model.hh"
+#include "trace/dataflow.hh"
+
+namespace prose {
+
+/** One scheduled task occurrence (for Gantt-style reporting). */
+struct ScheduledItem
+{
+    std::uint32_t thread = 0;
+    DataflowKind kind = DataflowKind::Host;
+    Sublayer sublayer = Sublayer::Embedding;
+    int layer = -1;
+    int arrayIndex = -1; ///< array-type pool index (0=M,1=G,2=E); -1 host
+    double start = 0.0;
+    /** When the issuing thread becomes ready (includes any Dataflow 3
+     *  host-softmax tail). */
+    double end = 0.0;
+    /** When the pool itself frees (end minus the host-softmax tail). */
+    double poolEnd = 0.0;
+};
+
+/** Result of one simulation. */
+struct SimReport
+{
+    double makespan = 0.0;          ///< wall-clock seconds end-to-end
+    std::uint64_t bytesIn = 0;      ///< host->accelerator traffic
+    std::uint64_t bytesOut = 0;     ///< accelerator->host traffic
+    double hostBusySeconds = 0.0;   ///< summed host-side work
+    double cpuDuty = 0.0;           ///< host capacity fraction used
+    double totalFlops = 0.0;        ///< useful arithmetic simulated
+    std::uint64_t taskCount = 0;    ///< dataflow + host tasks executed
+    std::uint64_t inferences = 0;   ///< sequences pushed through
+
+    /** Busy seconds per array type (M, G, E). */
+    std::array<double, 3> typeBusySeconds{ { 0.0, 0.0, 0.0 } };
+    /** Instance count per array type. */
+    std::array<std::uint32_t, 3> typeCounts{ { 0, 0, 0 } };
+
+    /** Optional Gantt records (enabled via SimOptions). */
+    std::vector<ScheduledItem> schedule;
+
+    /** Sequences per second. */
+    double inferencesPerSecond() const;
+
+    /** Busy fraction of one array type over the makespan. */
+    double utilization(ArrayType type) const;
+
+    /** Achieved FLOP/s. */
+    double achievedFlops() const;
+};
+
+/** Simulator knobs. */
+struct SimOptions
+{
+    /**
+     * I/O-buffer mutex hold time per accelerator task dispatch: DMA
+     * descriptor setup plus lock handoff. This is the thread-contention
+     * cost that grows with thread count (Section 3.1).
+     */
+    double ioLockSeconds = 5e-6;
+
+    /** Record per-task schedule items (costs memory on big runs). */
+    bool recordSchedule = false;
+};
+
+/** The discrete-event performance simulator. */
+class PerfSim
+{
+  public:
+    /** Timing/traffic model derived from the configuration (notably its
+     *  partial-input-buffer setting). */
+    explicit PerfSim(ProseConfig config);
+
+    /** Explicit models (ablations, custom hosts, schedule recording). */
+    PerfSim(ProseConfig config, TimingModel timing,
+            HostModel host = HostModel{},
+            SimOptions options = SimOptions{});
+
+    /**
+     * Simulate one full Protein BERT inference batch: slice the batch
+     * across the configured threads, synthesize each thread's trace,
+     * build dataflows, and schedule them.
+     */
+    SimReport run(const BertShape &shape) const;
+
+    /**
+     * Simulate an encoder-decoder translation workload (the paper's
+     * conclusion: ProSE generalizes by "adding decoder layers"): the
+     * batch is sliced across threads like run().
+     */
+    SimReport runDecoder(const DecoderShape &shape) const;
+
+    /** Schedule an explicit per-thread task list (tests / custom loads). */
+    SimReport runTasks(
+        const std::vector<std::vector<DataflowTask>> &thread_tasks) const;
+
+    const ProseConfig &config() const { return config_; }
+
+  private:
+    /** Durations of one accelerator task on a given geometry. */
+    struct TaskSeconds
+    {
+        /** Time the systolic array is occupied (compute vs stream). */
+        double arraySeconds = 0.0;
+        /**
+         * Extra serial time the issuing thread waits beyond the array
+         * occupancy — the Dataflow 3 host softmax trip, during which
+         * the array is free to serve other threads.
+         */
+        double threadExtraSeconds = 0.0;
+    };
+
+    /**
+     * @param geometry one array of the executing pool
+     * @param pool_count arrays in the pool (tiles split evenly)
+     * @param bandwidth the pool's aggregate link share
+     */
+    TaskSeconds accelTaskSeconds(const DataflowTask &task,
+                                 const ArrayGeometry &geometry,
+                                 std::uint32_t pool_count,
+                                 double bandwidth,
+                                 TaskCost &cost_out) const;
+
+    ProseConfig config_;
+    TimingModel timing_;
+    HostModel host_;
+    SimOptions options_;
+};
+
+/** Map a dataflow kind to the array type that executes it. */
+ArrayType arrayTypeFor(DataflowKind kind);
+
+/** Dense index (0..2) of an array type, for per-type tallies. */
+std::size_t typeIndex(ArrayType type);
+
+} // namespace prose
+
+#endif // PROSE_ACCEL_PERF_SIM_HH

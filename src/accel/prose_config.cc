@@ -1,0 +1,172 @@
+#include "prose_config.hh"
+
+#include <sstream>
+#include <tuple>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+namespace {
+
+/** Build a config from (type, dim, count) triples. */
+ProseConfig
+makeConfig(std::string name,
+           std::vector<std::tuple<ArrayType, std::uint32_t,
+                                  std::uint32_t>> mix,
+           LanePartition lanes)
+{
+    ProseConfig config;
+    config.name = std::move(name);
+    config.lanes = lanes;
+    for (const auto &[type, dim, count] : mix) {
+        ArrayGroupSpec group;
+        switch (type) {
+          case ArrayType::M:
+            group.geometry = ArrayGeometry::mType(dim);
+            break;
+          case ArrayType::G:
+            group.geometry = ArrayGeometry::gType(dim);
+            break;
+          case ArrayType::E:
+            group.geometry = ArrayGeometry::eType(dim);
+            break;
+        }
+        group.count = count;
+        config.groups.push_back(group);
+    }
+    config.validate();
+    return config;
+}
+
+} // namespace
+
+std::uint64_t
+ProseConfig::totalPes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &group : groups)
+        total += group.count * group.geometry.peCount();
+    return total;
+}
+
+std::uint32_t
+ProseConfig::arrayCount(ArrayType type) const
+{
+    std::uint32_t count = 0;
+    for (const auto &group : groups)
+        if (group.geometry.type == type)
+            count += group.count;
+    return count;
+}
+
+std::vector<ArrayGeometry>
+ProseConfig::instances() const
+{
+    std::vector<ArrayGeometry> out;
+    for (const auto &group : groups)
+        for (std::uint32_t i = 0; i < group.count; ++i)
+            out.push_back(group.geometry);
+    return out;
+}
+
+void
+ProseConfig::validate() const
+{
+    PROSE_ASSERT(arrayCount(ArrayType::M) > 0 &&
+                     arrayCount(ArrayType::G) > 0 &&
+                     arrayCount(ArrayType::E) > 0,
+                 "every array type is needed for functionality (", name,
+                 ")");
+    PROSE_ASSERT(lanes.total() == link.lanes,
+                 "lane partition does not cover the link in ", name);
+    PROSE_ASSERT(threads > 0, "need at least one software thread");
+}
+
+std::string
+ProseConfig::describe() const
+{
+    std::ostringstream os;
+    os << name << " [";
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << groups[i].count << "x " << groups[i].geometry.describe();
+    }
+    os << "] " << totalPes() << " PEs, " << link.name << " ("
+       << lanes.describe() << "), " << threads << " threads"
+       << (partialInputBuffer ? ", +InBuf" : "");
+    return os.str();
+}
+
+ProseConfig
+ProseConfig::bestPerf()
+{
+    return makeConfig("BestPerf",
+                      { { ArrayType::M, 64, 2 },
+                        { ArrayType::G, 16, 10 },
+                        { ArrayType::E, 16, 22 } },
+                      LanePartition{ 3, 1, 2 });
+}
+
+ProseConfig
+ProseConfig::mostEfficient()
+{
+    return makeConfig("MostEfficient",
+                      { { ArrayType::M, 64, 2 },
+                        { ArrayType::G, 32, 3 },
+                        { ArrayType::E, 16, 20 } },
+                      LanePartition{ 3, 1, 2 });
+}
+
+ProseConfig
+ProseConfig::homogeneous()
+{
+    return makeConfig("Homogeneous",
+                      { { ArrayType::M, 64, 2 },
+                        { ArrayType::G, 64, 1 },
+                        { ArrayType::E, 64, 1 } },
+                      LanePartition{ 3, 1, 2 });
+}
+
+ProseConfig
+ProseConfig::bestPerfPlus()
+{
+    ProseConfig config =
+        makeConfig("BestPerf+",
+                   { { ArrayType::M, 64, 2 },
+                     { ArrayType::G, 32, 5 },
+                     { ArrayType::E, 32, 7 } },
+                   LanePartition{ 3, 1, 2 });
+    return config;
+}
+
+ProseConfig
+ProseConfig::mostEfficientPlus()
+{
+    ProseConfig config = bestPerfPlus();
+    config.name = "MostEfficient+";
+    return config;
+}
+
+ProseConfig
+ProseConfig::homogeneousPlus()
+{
+    return makeConfig("Homogeneous+",
+                      { { ArrayType::M, 64, 2 },
+                        { ArrayType::G, 64, 1 },
+                        { ArrayType::E, 64, 2 } },
+                      LanePartition{ 3, 1, 2 });
+}
+
+ProseConfig
+ProseConfig::fourBy64Homogeneous()
+{
+    return makeConfig("4x64x64-Homogeneous",
+                      { { ArrayType::M, 64, 2 },
+                        { ArrayType::G, 64, 1 },
+                        { ArrayType::E, 64, 1 } },
+                      LanePartition{ 2, 2, 2 });
+}
+
+} // namespace prose

@@ -1,0 +1,81 @@
+#include "roofline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+double
+PoolRoofline::kneeBandwidth() const
+{
+    if (computeSeconds <= 0.0 || laneShare <= 0.0)
+        return 0.0;
+    // stream_time = bytes / (link * share) == computeSeconds at the knee.
+    return static_cast<double>(streamBytes) /
+           (computeSeconds * laneShare);
+}
+
+const PoolRoofline &
+RooflineAnalysis::boundingPool() const
+{
+    return *std::max_element(pools.begin(), pools.end(),
+                             [](const PoolRoofline &a,
+                                const PoolRoofline &b) {
+                                 return a.computeSeconds <
+                                        b.computeSeconds;
+                             });
+}
+
+double
+RooflineAnalysis::saturationBandwidth() const
+{
+    double knee = 0.0;
+    for (const PoolRoofline &pool : pools)
+        knee = std::max(knee, pool.kneeBandwidth());
+    return knee;
+}
+
+RooflineAnalysis
+analyzeRoofline(const ProseConfig &config, const BertShape &shape)
+{
+    config.validate();
+    RooflineAnalysis analysis;
+    const ArrayType types[3] = { ArrayType::M, ArrayType::G,
+                                 ArrayType::E };
+
+    // Pool geometries and counts.
+    std::array<const ArrayGeometry *, 3> geometry{};
+    std::array<std::uint32_t, 3> counts{};
+    for (const ArrayGroupSpec &group : config.groups) {
+        const std::size_t idx = typeIndex(group.geometry.type);
+        geometry[idx] = &group.geometry;
+        counts[idx] += group.count;
+    }
+
+    const TimingModel timing(config.partialInputBuffer);
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeBertTrace(shape));
+
+    for (std::size_t idx = 0; idx < 3; ++idx) {
+        analysis.pools[idx].type = types[idx];
+        analysis.pools[idx].laneShare =
+            static_cast<double>(config.lanes.lanesFor(types[idx])) /
+            config.link.lanes;
+    }
+    for (const DataflowTask &task : tasks) {
+        if (task.kind == DataflowKind::Host)
+            continue;
+        const std::size_t idx = typeIndex(arrayTypeFor(task.kind));
+        PROSE_ASSERT(geometry[idx] && counts[idx] > 0,
+                     "workload needs a pool the config lacks");
+        const TaskCost cost = timing.costTask(task, *geometry[idx]);
+        analysis.pools[idx].computeSeconds +=
+            cost.computeSeconds(*geometry[idx]) / counts[idx];
+        analysis.pools[idx].streamBytes +=
+            std::max(cost.bytesIn, cost.bytesOut);
+    }
+    return analysis;
+}
+
+} // namespace prose

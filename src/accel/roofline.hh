@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Analytic roofline for a ProSE configuration (Figure 20, derived
+ * rather than swept): for each array-type pool, compute its aggregate
+ * compute throughput, the stream traffic its dataflows demand, and the
+ * resulting knee bandwidth — the link rate beyond which the pool is
+ * compute-bound. The whole design's knee is the largest per-pool knee
+ * weighted by which pool bounds the makespan.
+ */
+
+#ifndef PROSE_ACCEL_ROOFLINE_HH
+#define PROSE_ACCEL_ROOFLINE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "perf_sim.hh"
+
+namespace prose {
+
+/** Roofline facts for one array-type pool. */
+struct PoolRoofline
+{
+    ArrayType type = ArrayType::M;
+    double computeSeconds = 0.0;  ///< pooled compute time of its tasks
+    std::uint64_t streamBytes = 0; ///< max(in, out) bytes it must move
+    double laneShare = 0.0;       ///< fraction of link lanes it owns
+
+    /**
+     * Link bandwidth (bytes/s, whole link) at which this pool's stream
+     * time equals its compute time — its saturation knee.
+     */
+    double kneeBandwidth() const;
+};
+
+/** Roofline summary of a configuration on a workload. */
+struct RooflineAnalysis
+{
+    std::array<PoolRoofline, 3> pools; ///< M, G, E
+
+    /** The pool with the largest compute time (the makespan bound at
+     *  infinite bandwidth). */
+    const PoolRoofline &boundingPool() const;
+
+    /** Bandwidth beyond which every pool is compute-bound. */
+    double saturationBandwidth() const;
+};
+
+/**
+ * Analyze a workload on a configuration: per-pool compute seconds come
+ * from the TimingModel over the full task list (pooled across each
+ * type's arrays); traffic from the same costs.
+ */
+RooflineAnalysis analyzeRoofline(const ProseConfig &config,
+                                 const BertShape &shape);
+
+} // namespace prose
+
+#endif // PROSE_ACCEL_ROOFLINE_HH

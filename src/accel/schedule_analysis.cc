@@ -1,0 +1,100 @@
+#include "schedule_analysis.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+double
+ScheduleAnalysis::meanBubbleFraction() const
+{
+    if (threadBubbleSeconds.empty() || makespan <= 0.0)
+        return 0.0;
+    double total = 0.0;
+    for (double bubble : threadBubbleSeconds)
+        total += bubble;
+    return total /
+           (makespan * static_cast<double>(threadBubbleSeconds.size()));
+}
+
+double
+ScheduleAnalysis::poolIdleFraction(ArrayType type) const
+{
+    const std::size_t idx = typeIndex(type);
+    const double span = poolBusySeconds[idx] + poolIdleSeconds[idx];
+    return span > 0.0 ? poolIdleSeconds[idx] / span : 0.0;
+}
+
+ScheduleAnalysis
+analyzeSchedule(const SimReport &report)
+{
+    PROSE_ASSERT(!report.schedule.empty(),
+                 "schedule analysis needs a recorded schedule "
+                 "(SimOptions::recordSchedule)");
+    ScheduleAnalysis analysis;
+    analysis.makespan = report.makespan;
+
+    // Group items per pool and per thread.
+    std::array<std::vector<const ScheduledItem *>, 3> per_pool;
+    std::map<std::uint32_t, std::vector<const ScheduledItem *>>
+        per_thread;
+    for (const ScheduledItem &item : report.schedule) {
+        per_thread[item.thread].push_back(&item);
+        if (item.arrayIndex >= 0) {
+            per_pool[static_cast<std::size_t>(item.arrayIndex)]
+                .push_back(&item);
+        }
+        analysis.kindSeconds[item.kind] += item.end - item.start;
+        ++analysis.kindCounts[item.kind];
+    }
+
+    // Pool busy/idle: items on one pool never overlap (by construction
+    // of the scheduler); idle is the gap sum inside [first, makespan].
+    for (std::size_t pool = 0; pool < 3; ++pool) {
+        auto &items = per_pool[pool];
+        if (items.empty())
+            continue;
+        std::sort(items.begin(), items.end(),
+                  [](const ScheduledItem *a, const ScheduledItem *b) {
+                      return a->start < b->start;
+                  });
+        double busy = 0.0;
+        double idle = items.front()->start;
+        double prev_end = items.front()->start;
+        for (const ScheduledItem *item : items) {
+            const double pool_end = item->poolEnd;
+            busy += pool_end - item->start;
+            if (item->start > prev_end)
+                idle += item->start - prev_end;
+            prev_end = std::max(prev_end, pool_end);
+        }
+        idle += std::max(0.0, analysis.makespan - prev_end);
+        analysis.poolBusySeconds[pool] = busy;
+        analysis.poolIdleSeconds[pool] = idle;
+    }
+
+    // Thread bubbles: gaps between consecutive tasks of one thread.
+    analysis.threadBubbleSeconds.resize(per_thread.size(), 0.0);
+    std::size_t thread_idx = 0;
+    for (auto &[thread, items] : per_thread) {
+        std::sort(items.begin(), items.end(),
+                  [](const ScheduledItem *a, const ScheduledItem *b) {
+                      return a->start < b->start;
+                  });
+        double bubble = items.front()->start;
+        double span = 0.0;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i > 0)
+                bubble += std::max(0.0, items[i]->start -
+                                            items[i - 1]->end);
+            span = std::max(span, items[i]->end);
+        }
+        analysis.threadBubbleSeconds[thread_idx++] = bubble;
+        analysis.criticalPathSeconds =
+            std::max(analysis.criticalPathSeconds, span);
+    }
+    return analysis;
+}
+
+} // namespace prose

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Post-mortem analysis of a recorded simulation schedule: per-pool
+ * busy/idle accounting, per-thread bubble (dependency-wait) time, and
+ * dataflow-kind time breakdowns. Backs the Figure 8 discussion — where
+ * the single-thread schedule's bubbles come from and what contention
+ * costs at 32 threads.
+ */
+
+#ifndef PROSE_ACCEL_SCHEDULE_ANALYSIS_HH
+#define PROSE_ACCEL_SCHEDULE_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "perf_sim.hh"
+
+namespace prose {
+
+/** Aggregated timing facts mined from a schedule. */
+struct ScheduleAnalysis
+{
+    double makespan = 0.0;
+
+    /** Busy seconds of each array-type pool (M, G, E). */
+    std::array<double, 3> poolBusySeconds{ { 0.0, 0.0, 0.0 } };
+    /** Idle (gap) seconds of each pool inside the makespan. */
+    std::array<double, 3> poolIdleSeconds{ { 0.0, 0.0, 0.0 } };
+
+    /** Seconds each thread spent waiting between its tasks. */
+    std::vector<double> threadBubbleSeconds;
+
+    /** Total seconds per dataflow kind (thread-view durations). */
+    std::map<DataflowKind, double> kindSeconds;
+
+    /** Task count per dataflow kind. */
+    std::map<DataflowKind, std::size_t> kindCounts;
+
+    /** Longest chain of back-to-back task executions (critical path
+     *  approximation: the thread with the largest busy+bubble span). */
+    double criticalPathSeconds = 0.0;
+
+    /** Mean bubble fraction across threads (the Figure 8 bubbles). */
+    double meanBubbleFraction() const;
+
+    /** Pool idle fraction (0 = perfectly packed). */
+    double poolIdleFraction(ArrayType type) const;
+};
+
+/**
+ * Analyze a schedule recorded with SimOptions::recordSchedule. The
+ * items may arrive in any order; they are grouped internally.
+ */
+ScheduleAnalysis analyzeSchedule(const SimReport &report);
+
+} // namespace prose
+
+#endif // PROSE_ACCEL_SCHEDULE_ANALYSIS_HH

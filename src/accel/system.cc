@@ -1,0 +1,81 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+double
+SystemReport::inferencesPerSecond() const
+{
+    return makespan > 0.0 ? static_cast<double>(inferences) / makespan
+                          : 0.0;
+}
+
+double
+SystemReport::efficiency() const
+{
+    PROSE_ASSERT(systemWatts > 0.0, "system power not computed");
+    return inferencesPerSecond() / systemWatts;
+}
+
+ProseSystem::ProseSystem(SystemConfig config)
+    : config_(std::move(config))
+{
+    PROSE_ASSERT(config_.instanceCount > 0,
+                 "a system needs at least one instance");
+    config_.instance.validate();
+}
+
+SystemReport
+ProseSystem::run(const BertShape &shape) const
+{
+    PROSE_ASSERT(shape.batch > 0, "empty batch");
+    const std::uint32_t used = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.instanceCount, shape.batch));
+
+    // The shared host splits its throughput across active instances.
+    HostSpec shared = config_.hostSpec;
+    shared.elemThroughput /= used;
+    shared.slots = std::max<std::uint32_t>(1, shared.slots / used);
+    const HostModel host(shared);
+
+    SystemReport report;
+    report.inferences = shape.batch;
+    double host_busy = 0.0;
+    for (std::uint32_t i = 0; i < used; ++i) {
+        BertShape slice = shape;
+        slice.batch = shape.batch / used +
+                      (i < shape.batch % used ? 1 : 0);
+        if (slice.batch == 0)
+            continue;
+        PerfSim sim(config_.instance,
+                    TimingModel(config_.instance.partialInputBuffer),
+                    host);
+        SimReport instance_report = sim.run(slice);
+        report.makespan =
+            std::max(report.makespan, instance_report.makespan);
+        host_busy += instance_report.hostBusySeconds;
+        report.perInstance.push_back(std::move(instance_report));
+    }
+
+    // Combined host duty over the whole host's capacity.
+    const HostModel full(config_.hostSpec);
+    if (report.makespan > 0.0) {
+        report.hostDuty = std::min(
+            1.0, host_busy / (report.makespan *
+                              config_.hostSpec.slots));
+    }
+
+    const PowerModel power;
+    const double arrays =
+        used * power.arrayPowerWatts(config_.instance.groups,
+                                     config_.instance.partialInputBuffer);
+    report.systemWatts = arrays +
+                         report.hostDuty * power.host().cpuActiveWatts +
+                         power.host().dramWatts;
+    return report;
+}
+
+} // namespace prose

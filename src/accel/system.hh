@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-instance ProSE system model. Section 3.2: "we envision a host
+ * CPU that is capable of supporting four NVLinks similar to what the
+ * latest NVIDIA Grace CPU is capable of, with each NVLink connecting to
+ * one ProSE instance, totaling four ProSE instances per system."
+ *
+ * Instances are independent accelerator cards on independent links; the
+ * system shards an inference batch across them and the host CPU serves
+ * all of their softmax/Other work. This is the deployment-scale view on
+ * top of the single-instance PerfSim.
+ */
+
+#ifndef PROSE_ACCEL_SYSTEM_HH
+#define PROSE_ACCEL_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "perf_sim.hh"
+#include "power/power_model.hh"
+
+namespace prose {
+
+/** A host with several ProSE instances on dedicated links. */
+struct SystemConfig
+{
+    ProseConfig instance = ProseConfig::bestPerf();
+    std::uint32_t instanceCount = 4; ///< Grace-class hosts carry four
+
+    /**
+     * Host CPU capacity multiplier: softmax/Other work from all
+     * instances lands on one host, so per-instance host throughput is
+     * the single-host spec divided by the active instance count.
+     */
+    HostSpec hostSpec = HostSpec{};
+};
+
+/** Aggregated result of a system-level run. */
+struct SystemReport
+{
+    double makespan = 0.0;          ///< slowest instance's makespan
+    std::uint64_t inferences = 0;
+    double systemWatts = 0.0;       ///< all instances + shared host
+    double hostDuty = 0.0;          ///< combined host capacity fraction
+    std::vector<SimReport> perInstance;
+
+    double inferencesPerSecond() const;
+    double efficiency() const; ///< inferences/s/W
+};
+
+/** Batch-sharding system simulator. */
+class ProseSystem
+{
+  public:
+    explicit ProseSystem(SystemConfig config = SystemConfig{});
+
+    /**
+     * Shard `shape.batch` as evenly as possible across the instances
+     * and simulate each; the system finishes when the slowest instance
+     * does. Host softmax throughput is divided among active instances.
+     */
+    SystemReport run(const BertShape &shape) const;
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+};
+
+} // namespace prose
+
+#endif // PROSE_ACCEL_SYSTEM_HH

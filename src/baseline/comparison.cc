@@ -1,0 +1,57 @@
+#include "comparison.hh"
+
+#include "common/logging.hh"
+#include "power/power_model.hh"
+
+namespace prose {
+
+const PlatformComparison &
+ComparisonReport::baseline(const std::string &name) const
+{
+    for (const PlatformComparison &row : baselines)
+        if (row.name == name)
+            return row;
+    fatal("no baseline named '", name, "' in the comparison");
+}
+
+ComparisonReport
+comparePlatforms(const ProseConfig &config, const BertShape &shape)
+{
+    ComparisonReport report;
+    report.shape = shape;
+
+    // ProSE.
+    PerfSim sim(config, TimingModel(config.partialInputBuffer));
+    const SimReport prose_run = sim.run(shape);
+    const PowerModel power;
+    report.prose.name = config.name;
+    report.prose.seconds = prose_run.makespan;
+    report.prose.inferencesPerSecond = prose_run.inferencesPerSecond();
+    report.prose.watts = power.systemPowerWatts(
+        config.groups, config.partialInputBuffer, prose_run.cpuDuty);
+    report.prose.efficiency =
+        report.prose.inferencesPerSecond / report.prose.watts;
+    report.prose.proseSpeedup = 1.0;
+    report.prose.proseEfficiencyGain = 1.0;
+
+    // Baselines over the identical op trace.
+    const OpTrace trace = synthesizeBertTrace(shape);
+    for (const auto &factory : { &makeA100, &makeTpuV2, &makeTpuV3 }) {
+        const auto platform = factory();
+        const PlatformResult result = platform->costTrace(trace);
+        PlatformComparison row;
+        row.name = platform->name();
+        row.seconds = result.acceleratedSeconds;
+        row.inferencesPerSecond =
+            static_cast<double>(shape.batch) / row.seconds;
+        row.watts = platform->watts();
+        row.efficiency = row.inferencesPerSecond / row.watts;
+        row.proseSpeedup = row.seconds / report.prose.seconds;
+        row.proseEfficiencyGain =
+            report.prose.efficiency / row.efficiency;
+        report.baselines.push_back(row);
+    }
+    return report;
+}
+
+} // namespace prose

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * One-call cross-platform comparison harness: run a workload shape on a
+ * ProSE configuration and the three commodity baselines, returning
+ * runtimes, throughput, power, and efficiency ratios — the computation
+ * behind Figures 1, 18, and 19, packaged for library users.
+ */
+
+#ifndef PROSE_BASELINE_COMPARISON_HH
+#define PROSE_BASELINE_COMPARISON_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/perf_sim.hh"
+#include "platform.hh"
+
+namespace prose {
+
+/** One platform's results on the workload. */
+struct PlatformComparison
+{
+    std::string name;
+    double seconds = 0.0; ///< accelerated-portion runtime
+    double inferencesPerSecond = 0.0;
+    double watts = 0.0;
+    double efficiency = 0.0; ///< inferences/s/W
+
+    /** Relative to ProSE (speedup > 1 means ProSE is faster). */
+    double proseSpeedup = 0.0;
+    double proseEfficiencyGain = 0.0;
+};
+
+/** Full comparison for one workload. */
+struct ComparisonReport
+{
+    BertShape shape;
+    PlatformComparison prose;
+    std::vector<PlatformComparison> baselines; ///< A100, TPUv2, TPUv3
+
+    /** Lookup a baseline row by name; fatal if absent. */
+    const PlatformComparison &baseline(const std::string &name) const;
+};
+
+/**
+ * Compare a ProSE configuration against the A100/TPUv2/TPUv3 models on
+ * a workload. ProSE power is the whole-system figure (arrays + duty-
+ * cycled host + DRAM).
+ */
+ComparisonReport comparePlatforms(const ProseConfig &config,
+                                  const BertShape &shape);
+
+} // namespace prose
+
+#endif // PROSE_BASELINE_COMPARISON_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Analytic baseline platform models. The paper measures a real A100 and
+ * real Cloud TPUs; offline we model each platform as a per-op roofline:
+ * matmuls run at a shape-dependent fraction of the platform's peak
+ * FLOP/s, elementwise ops stream at a fraction of memory bandwidth, and
+ * every op pays a fixed dispatch overhead. Constants are calibrated so
+ * the Figure 3 runtime breakdown and the Figure 18/19 speedup and
+ * efficiency bands land where the paper reports them; the *shapes*
+ * (matmul share falling with length, efficiency collapse at long
+ * lengths, ProSE's advantage growing with length) all emerge from the op
+ * mix itself.
+ */
+
+#ifndef PROSE_BASELINE_PLATFORM_HH
+#define PROSE_BASELINE_PLATFORM_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "trace/op_trace.hh"
+
+namespace prose {
+
+/** Outcome of costing one op trace on a platform. */
+struct PlatformResult
+{
+    double totalSeconds = 0.0;
+    double acceleratedSeconds = 0.0; ///< excludes the Other category
+    std::map<OpCategory, double> categorySeconds;
+    double watts = 0.0;
+
+    /** Fraction of total time per category (Figure 3 rows). */
+    std::map<OpCategory, double> categoryFractions() const;
+};
+
+/** Interface every baseline platform implements. */
+class PlatformModel
+{
+  public:
+    virtual ~PlatformModel() = default;
+
+    /** Human-readable platform name. */
+    virtual const std::string &name() const = 0;
+
+    /** Platform power draw under this load (measured TDP-style). */
+    virtual double watts() const = 0;
+
+    /** Seconds to execute one op. */
+    virtual double opSeconds(const Op &op) const = 0;
+
+    /** Cost a whole trace (ops execute back-to-back, as profiled). */
+    PlatformResult costTrace(const OpTrace &trace) const;
+};
+
+/** Tuning constants shared by the concrete roofline models. */
+struct RooflineSpec
+{
+    std::string name;
+    double watts = 0.0;
+    /** Effective FLOP/s for large dense matmuls. */
+    double matmulFlops = 0.0;
+    /** Effective FLOP/s for small-k batched matmuls. */
+    double bmmFlops = 0.0;
+    /** Effective streaming bytes/s for elementwise ops. */
+    double elemBw = 0.0;
+    /** Effective streaming bytes/s for softmax (reduction-heavy). */
+    double softmaxBw = 0.0;
+    /** Memory passes a GELU costs (TPUs approximate GELU with a chain
+     *  of 10+ MulAdds because they lack a GELU unit — Section 3.2). */
+    double geluPasses = 2.0;
+    /** Fixed per-op dispatch overhead (kernel launch / UB turnaround). */
+    double opOverheadSeconds = 0.0;
+    /** Bytes per element as materialized by the framework. */
+    double elemBytes = 4.0;
+};
+
+/** Generic roofline platform driven by a RooflineSpec. */
+class RooflinePlatform : public PlatformModel
+{
+  public:
+    explicit RooflinePlatform(RooflineSpec spec);
+
+    const std::string &name() const override { return spec_.name; }
+    double watts() const override { return spec_.watts; }
+    double opSeconds(const Op &op) const override;
+
+    const RooflineSpec &spec() const { return spec_; }
+
+  private:
+    RooflineSpec spec_;
+};
+
+/** The NVIDIA A100-SXM4 platform of Table 1. */
+std::unique_ptr<PlatformModel> makeA100();
+
+/** One Cloud TPUv2 device (4 chips / 8 cores). */
+std::unique_ptr<PlatformModel> makeTpuV2();
+
+/** One Cloud TPUv3 device (4 chips / 8 cores). */
+std::unique_ptr<PlatformModel> makeTpuV3();
+
+} // namespace prose
+
+#endif // PROSE_BASELINE_PLATFORM_HH

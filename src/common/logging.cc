@@ -1,0 +1,35 @@
+#include "logging.hh"
+
+namespace prose {
+namespace detail {
+
+bool &
+quietFlag()
+{
+    static bool quiet = false;
+    return quiet;
+}
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Info:
+        tag = "info";
+        break;
+      case LogLevel::Warn:
+        tag = "warn";
+        break;
+      case LogLevel::Fatal:
+        tag = "fatal";
+        break;
+      case LogLevel::Panic:
+        tag = "panic";
+        break;
+    }
+    std::cerr << tag << ": " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace prose

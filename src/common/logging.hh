@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it aborts.
+ * fatal() is for user errors (bad configuration, invalid arguments); it
+ * exits with a non-zero status. inform()/warn() report conditions that do
+ * not stop the simulation.
+ */
+
+#ifndef PROSE_COMMON_LOGGING_HH
+#define PROSE_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace prose {
+
+/** Severity of a log message. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Stream a pack of arguments into a string. */
+template <typename... Args>
+std::string
+concat([[maybe_unused]] Args &&...args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(Args) > 0)
+        (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit one formatted log line to stderr. */
+void emitLog(LogLevel level, const std::string &msg);
+
+/** Whether informational messages are suppressed (for quiet tools). */
+bool &quietFlag();
+
+} // namespace detail
+
+/** Suppress (or re-enable) inform() output. */
+inline void
+setQuiet(bool quiet)
+{
+    detail::quietFlag() = quiet;
+}
+
+/** Report normal operating status to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!detail::quietFlag())
+        detail::emitLog(LogLevel::Info,
+                        detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a user-caused error (bad configuration or
+ * arguments). Exits with status 1; never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLog(LogLevel::Fatal,
+                    detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Terminate because of an internal invariant violation (a ProSE bug).
+ * Aborts so a core dump / debugger can catch it; never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLog(LogLevel::Panic,
+                    detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** panic() unless the condition holds. */
+#define PROSE_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::prose::panic("assertion failed: ", #cond, " ",                \
+                           ::prose::detail::concat(__VA_ARGS__));           \
+    } while (0)
+
+} // namespace prose
+
+#endif // PROSE_COMMON_LOGGING_HH

@@ -1,0 +1,121 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace prose {
+
+namespace {
+
+/** SplitMix64 step used to expand the seed into full state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    // All-zero state is the one forbidden fixed point.
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    PROSE_ASSERT(n > 0, "Rng::below needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return draw % n;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    PROSE_ASSERT(lo <= hi, "Rng::range needs lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(two_pi * u2);
+    haveSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xa5a5a5a55a5a5a5aull);
+}
+
+} // namespace prose

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Descriptive statistics and correlation measures.
+ *
+ * Used throughout the evaluation harness: Spearman rank correlation is the
+ * accuracy metric of the paper's Section 2.2 binding-affinity experiment;
+ * the rest supports benchmark reporting and the DSE.
+ */
+
+#ifndef PROSE_COMMON_STATS_HH
+#define PROSE_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace prose {
+
+/** Arithmetic mean. Empty input is a caller bug. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Smallest element. */
+double minOf(const std::vector<double> &xs);
+
+/** Largest element. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * percentile(xs, 50) is the median.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Geometric mean; every element must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Pearson product-moment correlation of two equal-length series. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Spearman rank correlation: Pearson correlation of the ranks, with ties
+ * assigned their average rank (the convention scipy uses).
+ */
+double spearman(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Average ranks of a series (1-based); ties share the mean of the ranks
+ * they span.
+ */
+std::vector<double> averageRanks(const std::vector<double> &xs);
+
+/** Streaming accumulator for mean / variance / extrema (Welford). */
+class RunningStats
+{
+  public:
+    /** Fold one sample in. */
+    void add(double x);
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return n_; }
+
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace prose
+
+#endif // PROSE_COMMON_STATS_HH

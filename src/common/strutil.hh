@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small string utilities used by FASTA parsing, CLI handling, and report
+ * formatting.
+ */
+
+#ifndef PROSE_COMMON_STRUTIL_HH
+#define PROSE_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace prose {
+
+/** Split on a single character; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/** Uppercase ASCII copy. */
+std::string toUpper(const std::string &s);
+
+/** True if `s` starts with `prefix`. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+} // namespace prose
+
+#endif // PROSE_COMMON_STRUTIL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit helpers shared by the timing, link, and power models. All time is
+ * kept in seconds (double), rates in bytes/second, energy in joules; these
+ * constants make call sites read like the paper ("270 GB/s", "1.6 GHz").
+ */
+
+#ifndef PROSE_COMMON_UNITS_HH
+#define PROSE_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace prose {
+
+/** Multipliers into base units. */
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+
+/** Bytes-per-second from a GB/s figure (decimal GB, matching NVLink). */
+constexpr double
+gbps(double gigabytes_per_second)
+{
+    return gigabytes_per_second * kGiga;
+}
+
+/** Hz from a MHz figure. */
+constexpr double
+mhz(double megahertz)
+{
+    return megahertz * kMega;
+}
+
+/** Hz from a GHz figure. */
+constexpr double
+ghz(double gigahertz)
+{
+    return gigahertz * kGiga;
+}
+
+/** Watts from mW. */
+constexpr double
+milliwatts(double mw)
+{
+    return mw * kMilli;
+}
+
+/** Number of bytes in one bfloat16 element. */
+constexpr std::uint64_t kBf16Bytes = 2;
+
+/** Number of bytes in one fp32 element. */
+constexpr std::uint64_t kFp32Bytes = 4;
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace prose
+
+#endif // PROSE_COMMON_UNITS_HH

@@ -1,0 +1,148 @@
+#include "dse_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "baseline/platform.hh"
+#include "common/logging.hh"
+#include "power/power_model.hh"
+
+namespace prose {
+
+std::vector<std::size_t>
+paretoFront(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    PROSE_ASSERT(xs.size() == ys.size(), "pareto coordinate mismatch");
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < xs.size() && !dominated; ++j) {
+            if (j == i)
+                continue;
+            const bool le = xs[j] <= xs[i] && ys[j] <= ys[i];
+            const bool lt = xs[j] < xs[i] || ys[j] < ys[i];
+            dominated = le && lt;
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+DseEngine::DseEngine(DseWorkload workload)
+    : workload_(workload)
+{
+    if (workload_.a100Seconds > 0.0) {
+        a100Seconds_ = workload_.a100Seconds;
+    } else {
+        const auto a100 = makeA100();
+        const OpTrace trace = synthesizeBertTrace(workload_.shape);
+        // The paper compares accelerated portions (Figure 3 minus
+        // Other).
+        a100Seconds_ = a100->costTrace(trace).acceleratedSeconds;
+    }
+}
+
+DsePoint
+DseEngine::evaluate(const ProseConfig &config) const
+{
+    PerfSim sim(config);
+    const SimReport report = sim.run(workload_.shape);
+
+    DsePoint point;
+    point.config = config;
+    point.runtimeSeconds = report.makespan;
+    point.runtimeVsA100 = report.makespan / a100Seconds_;
+    point.inferencesPerSecond = report.inferencesPerSecond();
+    point.cpuDuty = report.cpuDuty;
+
+    const PowerModel power;
+    point.powerWatts = power.arrayPowerWatts(config.groups,
+                                             config.partialInputBuffer);
+    point.areaMm2 = power.arrayAreaMm2(config.groups,
+                                       config.partialInputBuffer);
+    return point;
+}
+
+DsePoint
+DseEngine::evaluateBestLanes(const ProseConfig &mix) const
+{
+    DsePoint best;
+    best.runtimeSeconds = std::numeric_limits<double>::infinity();
+    for (const LanePartition &lanes :
+         LanePartition::enumerate(mix.link.lanes)) {
+        ProseConfig candidate = mix;
+        candidate.lanes = lanes;
+        const DsePoint point = evaluate(candidate);
+        if (point.runtimeSeconds < best.runtimeSeconds)
+            best = point;
+    }
+    return best;
+}
+
+DseSelection
+DseEngine::explore(const ConfigSpaceSpec &spec) const
+{
+    DseSelection selection;
+    const std::vector<ProseConfig> mixes = enumerateMixes(spec);
+    PROSE_ASSERT(!mixes.empty(), "empty configuration space");
+    selection.points.resize(mixes.size());
+
+    // Mixes are independent; fan the evaluations across hardware
+    // threads (each evaluation is a full lane-partition sweep).
+    const unsigned workers = std::max(
+        1u, std::min<unsigned>(std::thread::hardware_concurrency(),
+                               static_cast<unsigned>(mixes.size())));
+    std::atomic<std::size_t> next{ 0 };
+    auto run = [&] {
+        for (std::size_t i = next.fetch_add(1); i < mixes.size();
+             i = next.fetch_add(1)) {
+            selection.points[i] = evaluateBestLanes(mixes[i]);
+        }
+    };
+    if (workers == 1) {
+        run();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(run);
+        for (std::thread &worker : pool)
+            worker.join();
+    }
+
+    std::vector<double> runtime, power, area;
+    for (const auto &point : selection.points) {
+        runtime.push_back(point.runtimeSeconds);
+        power.push_back(point.powerWatts);
+        area.push_back(point.areaMm2);
+    }
+
+    selection.bestPerf = static_cast<std::size_t>(
+        std::min_element(runtime.begin(), runtime.end()) -
+        runtime.begin());
+    selection.powerPareto = paretoFront(runtime, power);
+    selection.areaPareto = paretoFront(runtime, area);
+
+    // "Most efficient" = the Pareto point minimizing runtime x power
+    // (resp. runtime x area) products — the knee the paper picks.
+    auto knee = [&](const std::vector<std::size_t> &front,
+                    const std::vector<double> &cost) {
+        std::size_t best = front.front();
+        double best_product = std::numeric_limits<double>::infinity();
+        for (std::size_t idx : front) {
+            const double product = runtime[idx] * cost[idx];
+            if (product < best_product) {
+                best_product = product;
+                best = idx;
+            }
+        }
+        return best;
+    };
+    selection.mostPowerEfficient = knee(selection.powerPareto, power);
+    selection.mostAreaEfficient = knee(selection.areaPareto, area);
+    return selection;
+}
+
+} // namespace prose

@@ -1,0 +1,345 @@
+#include "bert_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "numerics/activations.hh"
+#include "tokenizer.hh"
+
+namespace prose {
+
+namespace {
+
+/**
+ * Score written into masked (PAD-key) attention positions. Large
+ * enough that exp() is exactly 0 in fp32 and saturates the Exp LUT's
+ * above-window negative path to 0 in hardware.
+ */
+constexpr float kMaskScore = -1e9f;
+
+/** c(i,j) = a(i,j) + bias[j] (row-broadcast bias add). */
+Matrix
+addBias(const Matrix &a, const std::vector<float> &bias)
+{
+    PROSE_ASSERT(bias.size() == a.cols(), "bias arity mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c(i, j) = a(i, j) + bias[j];
+    return c;
+}
+
+} // namespace
+
+BertModel::BertModel(const BertConfig &config, std::uint64_t seed)
+    : BertModel(config, BertWeights::initialize(config, seed))
+{
+}
+
+BertModel::BertModel(const BertConfig &config, BertWeights weights)
+    : config_(config), weights_(std::move(weights)),
+      geluLut_(TwoLevelLut::makeGelu()), expLut_(TwoLevelLut::makeExp())
+{
+    config_.validate();
+    PROSE_ASSERT(weights_.layers.size() == config_.layers,
+                 "weights/config layer-count mismatch");
+}
+
+void
+BertModel::setSpecialFunctionLuts(TwoLevelLut gelu, TwoLevelLut exp)
+{
+    geluLut_ = std::move(gelu);
+    expLut_ = std::move(exp);
+}
+
+Matrix
+BertModel::modalMatmul(const Matrix &a, const Matrix &b,
+                       NumericsMode mode) const
+{
+    if (mode == NumericsMode::Fp32)
+        return matmul(a, b);
+    return matmulBf16(a, b);
+}
+
+void
+BertModel::modalQuantize(Matrix &m, NumericsMode mode) const
+{
+    if (mode != NumericsMode::Fp32)
+        m.quantizeBf16InPlace();
+}
+
+Matrix
+BertModel::embed(const std::vector<std::vector<std::uint32_t>> &tokens,
+                 NumericsMode mode, OpTrace *trace) const
+{
+    const std::uint64_t batch = tokens.size();
+    PROSE_ASSERT(batch > 0, "empty batch");
+    const std::uint64_t seq_len = tokens[0].size();
+    const std::uint64_t h = config_.hidden;
+    PROSE_ASSERT(seq_len > 0 && seq_len <= config_.maxSeqLen,
+                 "bad sequence length ", seq_len);
+
+    Matrix x(batch * seq_len, h);
+    for (std::uint64_t b = 0; b < batch; ++b) {
+        PROSE_ASSERT(tokens[b].size() == seq_len,
+                     "ragged batch: all sequences must share a length");
+        for (std::uint64_t t = 0; t < seq_len; ++t) {
+            const std::uint32_t id = tokens[b][t];
+            PROSE_ASSERT(id < config_.vocabSize, "token id out of vocab");
+            float *row = x.row(b * seq_len + t);
+            const float *tok = weights_.tokenEmbedding.row(id);
+            const float *pos = weights_.positionEmbedding.row(t);
+            for (std::uint64_t j = 0; j < h; ++j)
+                row[j] = tok[j] + pos[j];
+        }
+    }
+    if (trace)
+        trace->record(OpKind::Embed, Sublayer::Embedding, -1,
+                      1, batch * seq_len, 0, h);
+
+    x = layerNorm(x, weights_.lnEmbGamma, weights_.lnEmbBeta,
+                  config_.layerNormEps);
+    modalQuantize(x, mode);
+    if (trace)
+        trace->record(OpKind::LayerNorm, Sublayer::Embedding, -1,
+                      1, batch * seq_len, 0, h);
+    return x;
+}
+
+Matrix
+BertModel::encoderLayer(const Matrix &x, const LayerWeights &lw, int layer,
+                        std::uint64_t batch, std::uint64_t seq_len,
+                        NumericsMode mode, OpTrace *trace,
+                        const std::vector<std::uint8_t> *pad_mask) const
+{
+    const std::uint64_t h = config_.hidden;
+    const std::uint64_t heads = config_.heads;
+    const std::uint64_t dk = config_.headDim();
+    const std::uint64_t bl = batch * seq_len;
+    const std::uint64_t bh = batch * heads;
+
+    auto record = [&](OpKind kind, Sublayer sub, std::uint64_t bt,
+                      std::uint64_t m, std::uint64_t k, std::uint64_t n,
+                      bool broadcast = false) {
+        if (trace)
+            trace->record(kind, sub, layer, bt, m, k, n, broadcast);
+    };
+
+    // --- Attention sublayer -------------------------------------------
+    // Q/K/V projections: MatMul + bias MulAdd (Dataflow 1) + head split.
+    Matrix qkv[3];
+    const Matrix *proj_w[3] = { &lw.wq, &lw.wk, &lw.wv };
+    const std::vector<float> *proj_b[3] = { &lw.bq, &lw.bk, &lw.bv };
+    for (int p = 0; p < 3; ++p) {
+        qkv[p] = modalMatmul(x, *proj_w[p], mode);
+        record(OpKind::MatMul, Sublayer::Attention, 1, bl, h, h);
+        qkv[p] = addBias(qkv[p], *proj_b[p]);
+        modalQuantize(qkv[p], mode);
+        record(OpKind::MulAdd, Sublayer::Attention, 1, bl, 0, h, true);
+        record(OpKind::Transpose, Sublayer::Attention, 1, bl, 0, h);
+    }
+
+    // Attention scores / probabilities / context (Dataflow 3).
+    record(OpKind::Bmm, Sublayer::Attention, bh, seq_len, dk, seq_len);
+    record(OpKind::MatDiv, Sublayer::Attention, bh, seq_len, 0, seq_len);
+    record(OpKind::Exp, Sublayer::Attention, bh, seq_len, 0, seq_len);
+    record(OpKind::SoftmaxHost, Sublayer::Attention, bh, seq_len, 0,
+           seq_len);
+    record(OpKind::Bmm, Sublayer::Attention, bh, seq_len, seq_len, dk);
+
+    const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(dk));
+    Matrix context(bl, h);
+    for (std::uint64_t b = 0; b < batch; ++b) {
+        for (std::uint64_t hd = 0; hd < heads; ++hd) {
+            // Slice this (batch, head) Q/K/V: seq_len x dk.
+            Matrix qh(seq_len, dk), kh(seq_len, dk), vh(seq_len, dk);
+            for (std::uint64_t t = 0; t < seq_len; ++t) {
+                const std::size_t row = b * seq_len + t;
+                for (std::uint64_t j = 0; j < dk; ++j) {
+                    qh(t, j) = qkv[0](row, hd * dk + j);
+                    kh(t, j) = qkv[1](row, hd * dk + j);
+                    vh(t, j) = qkv[2](row, hd * dk + j);
+                }
+            }
+            Matrix scores = modalMatmul(qh, transpose(kh), mode);
+            scores = scale(scores, inv_sqrt_dk);
+            modalQuantize(scores, mode);
+
+            // Padding mask: PAD keys receive a score so negative that
+            // the exponential flushes to exactly zero — on the
+            // accelerator this is the Exp LUT's above-window saturate
+            // path (Figure 14), so masking costs no extra hardware.
+            if (pad_mask) {
+                for (std::uint64_t j = 0; j < seq_len; ++j) {
+                    if (!(*pad_mask)[b * seq_len + j])
+                        continue;
+                    for (std::uint64_t i = 0; i < seq_len; ++i)
+                        scores(i, j) = kMaskScore;
+                }
+            }
+
+            Matrix probs(seq_len, seq_len);
+            if (mode == NumericsMode::Fp32) {
+                probs = rowSoftmax(scores);
+            } else {
+                // Accelerator path: Exp on-array (optionally via LUT),
+                // row sum + divide on the host CPU in fp32.
+                for (std::uint64_t i = 0; i < seq_len; ++i) {
+                    double denom = 0.0;
+                    for (std::uint64_t j = 0; j < seq_len; ++j) {
+                        float e;
+                        if (mode == NumericsMode::Bf16Lut)
+                            e = expLut_.lookupFloat(scores(i, j));
+                        else
+                            e = quantizeBf16(std::exp(scores(i, j)));
+                        probs(i, j) = e;
+                        denom += e;
+                    }
+                    const float inv = static_cast<float>(1.0 / denom);
+                    for (std::uint64_t j = 0; j < seq_len; ++j)
+                        probs(i, j) = quantizeBf16(probs(i, j) * inv);
+                }
+            }
+
+            Matrix ctx = modalMatmul(probs, vh, mode);
+            for (std::uint64_t t = 0; t < seq_len; ++t)
+                for (std::uint64_t j = 0; j < dk; ++j)
+                    context(b * seq_len + t, hd * dk + j) = ctx(t, j);
+        }
+    }
+    record(OpKind::Transpose, Sublayer::Attention, 1, bl, 0, h);
+
+    // Attention output projection + residual (Dataflow 1) + LayerNorm.
+    Matrix attn_out = modalMatmul(context, lw.wo, mode);
+    record(OpKind::MatMul, Sublayer::Attention, 1, bl, h, h);
+    attn_out = addBias(attn_out, lw.bo);
+    record(OpKind::MulAdd, Sublayer::Attention, 1, bl, 0, h, true);
+    attn_out = add(attn_out, x);
+    modalQuantize(attn_out, mode);
+    record(OpKind::MulAdd, Sublayer::Attention, 1, bl, 0, h);
+    Matrix normed = layerNorm(attn_out, lw.lnAttnGamma, lw.lnAttnBeta,
+                              config_.layerNormEps);
+    modalQuantize(normed, mode);
+    record(OpKind::LayerNorm, Sublayer::Attention, 1, bl, 0, h);
+
+    // --- Intermediate sublayer (Dataflow 2) ----------------------------
+    Matrix inter = modalMatmul(normed, lw.w1, mode);
+    record(OpKind::MatMul, Sublayer::Intermediate, 1, bl, h,
+           config_.intermediate);
+    inter = addBias(inter, lw.b1);
+    modalQuantize(inter, mode);
+    record(OpKind::MulAdd, Sublayer::Intermediate, 1, bl, 0,
+           config_.intermediate, true);
+    for (std::size_t i = 0; i < inter.rows(); ++i) {
+        for (std::size_t j = 0; j < inter.cols(); ++j) {
+            if (mode == NumericsMode::Bf16Lut)
+                inter(i, j) = geluLut_.lookupFloat(inter(i, j));
+            else if (mode == NumericsMode::Bf16)
+                inter(i, j) = quantizeBf16(geluTanh(inter(i, j)));
+            else
+                inter(i, j) = geluTanh(inter(i, j));
+        }
+    }
+    record(OpKind::Gelu, Sublayer::Intermediate, 1, bl, 0,
+           config_.intermediate);
+
+    // --- Output sublayer (Dataflow 1) -----------------------------------
+    Matrix out = modalMatmul(inter, lw.w2, mode);
+    record(OpKind::MatMul, Sublayer::Output, 1, bl, config_.intermediate,
+           h);
+    out = addBias(out, lw.b2);
+    record(OpKind::MulAdd, Sublayer::Output, 1, bl, 0, h, true);
+    out = add(out, normed);
+    modalQuantize(out, mode);
+    record(OpKind::MulAdd, Sublayer::Output, 1, bl, 0, h);
+    Matrix result = layerNorm(out, lw.lnOutGamma, lw.lnOutBeta,
+                              config_.layerNormEps);
+    modalQuantize(result, mode);
+    record(OpKind::LayerNorm, Sublayer::Output, 1, bl, 0, h);
+    return result;
+}
+
+Matrix
+BertModel::runEncoderLayer(const Matrix &x, std::size_t layer,
+                           std::uint64_t batch, std::uint64_t seq_len,
+                           NumericsMode mode, OpTrace *trace) const
+{
+    PROSE_ASSERT(layer < config_.layers, "layer index out of range");
+    PROSE_ASSERT(x.rows() == batch * seq_len &&
+                     x.cols() == config_.hidden,
+                 "activation shape mismatch");
+    return encoderLayer(x, weights_.layers[layer],
+                        static_cast<int>(layer), batch, seq_len, mode,
+                        trace, nullptr);
+}
+
+BertModel::Output
+BertModel::forward(const std::vector<std::vector<std::uint32_t>> &tokens,
+                   NumericsMode mode, OpTrace *trace) const
+{
+    const std::uint64_t batch = tokens.size();
+    PROSE_ASSERT(batch > 0, "forward over an empty batch");
+    const std::uint64_t seq_len = tokens[0].size();
+
+    // PAD positions must not receive attention from real tokens.
+    std::vector<std::uint8_t> pad_mask(batch * seq_len, 0);
+    bool any_pad = false;
+    for (std::uint64_t b = 0; b < batch; ++b) {
+        for (std::uint64_t t = 0; t < seq_len; ++t) {
+            if (tokens[b][t] == kPadToken) {
+                pad_mask[b * seq_len + t] = 1;
+                any_pad = true;
+            }
+        }
+    }
+
+    Matrix x = embed(tokens, mode, trace);
+    for (std::uint64_t layer = 0; layer < config_.layers; ++layer) {
+        x = encoderLayer(x, weights_.layers[layer],
+                         static_cast<int>(layer), batch, seq_len, mode,
+                         trace, any_pad ? &pad_mask : nullptr);
+    }
+
+    // Pooler: tanh(CLS . Wp + bp), one row per sequence. Downstream-only;
+    // not part of the accelerated trace.
+    Matrix cls(batch, config_.hidden);
+    for (std::uint64_t b = 0; b < batch; ++b)
+        for (std::uint64_t j = 0; j < config_.hidden; ++j)
+            cls(b, j) = x(b * seq_len, j);
+    Matrix pooled = modalMatmul(cls, weights_.poolerW, mode);
+    pooled = addBias(pooled, weights_.poolerB);
+    for (std::size_t i = 0; i < pooled.rows(); ++i)
+        for (std::size_t j = 0; j < pooled.cols(); ++j)
+            pooled(i, j) = std::tanh(pooled(i, j));
+    modalQuantize(pooled, mode);
+
+    return Output{ std::move(x), std::move(pooled) };
+}
+
+Matrix
+BertModel::extractFeatures(
+    const std::vector<std::vector<std::uint32_t>> &tokens,
+    NumericsMode mode) const
+{
+    const Output out = forward(tokens, mode, nullptr);
+    const std::uint64_t batch = tokens.size();
+    const std::uint64_t seq_len = tokens[0].size();
+    Matrix features(batch, config_.hidden);
+    for (std::uint64_t b = 0; b < batch; ++b) {
+        std::uint64_t counted = 0;
+        for (std::uint64_t t = 0; t < seq_len; ++t) {
+            if (tokens[b][t] == kPadToken)
+                continue;
+            ++counted;
+            for (std::uint64_t j = 0; j < config_.hidden; ++j)
+                features(b, j) += out.hidden(b * seq_len + t, j);
+        }
+        PROSE_ASSERT(counted > 0, "sequence with only PAD tokens");
+        const float inv = 1.0f / static_cast<float>(counted);
+        for (std::uint64_t j = 0; j < config_.hidden; ++j)
+            features(b, j) *= inv;
+    }
+    return features;
+}
+
+} // namespace prose

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Protein BERT encoder: a from-scratch BERT-base-style transformer
+ * executing real math, with three numerics modes and optional op tracing.
+ *
+ * Modes:
+ *  - Fp32: reference fp32 forward (the "GPU" numerics).
+ *  - Bf16: operands quantized to bfloat16, products accumulated in fp32 —
+ *    the ProSE MAC datapath.
+ *  - Bf16Lut: Bf16 plus GELU/Exp evaluated through the two-level lookup
+ *    tables of the special-function units, i.e. the full accelerator
+ *    numerics. The paper notes model accuracy is sensitive to GELU /
+ *    softmax precision; tests compare these modes.
+ *
+ * When a trace is supplied, the forward records exactly the op stream
+ * synthesizeBertTrace() predicts (a unit test enforces equality), which is
+ * how the performance simulator can run from synthetic traces at sizes
+ * where real math would be wastefully slow.
+ */
+
+#ifndef PROSE_MODEL_BERT_MODEL_HH
+#define PROSE_MODEL_BERT_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bert_config.hh"
+#include "numerics/lut.hh"
+#include "numerics/matrix.hh"
+#include "trace/op_trace.hh"
+#include "weights.hh"
+
+namespace prose {
+
+/** Numeric fidelity of a forward pass. */
+enum class NumericsMode
+{
+    Fp32,
+    Bf16,
+    Bf16Lut,
+};
+
+/** A BERT encoder with concrete weights. */
+class BertModel
+{
+  public:
+    /** Build with deterministic random init. */
+    BertModel(const BertConfig &config, std::uint64_t seed);
+
+    /** Build around externally-prepared weights. */
+    BertModel(const BertConfig &config, BertWeights weights);
+
+    /** Result of a forward pass. */
+    struct Output
+    {
+        /** Final hidden states, (batch * seq_len) x hidden, row-major by
+         *  sequence then position. */
+        Matrix hidden;
+        /** Pooled [CLS] representation after the tanh pooler,
+         *  batch x hidden. */
+        Matrix pooled;
+    };
+
+    /**
+     * Run the encoder over a batch of equal-length token sequences.
+     *
+     * @param tokens batch of sequences; all must share one length
+     * @param mode numeric fidelity (see NumericsMode)
+     * @param trace if non-null, receives the op stream
+     */
+    Output forward(const std::vector<std::vector<std::uint32_t>> &tokens,
+                   NumericsMode mode = NumericsMode::Fp32,
+                   OpTrace *trace = nullptr) const;
+
+    /**
+     * Run a single encoder layer over flattened hidden states — the
+     * layer-wise execution mode used to validate the accelerator's
+     * functional simulator against the model, and by pipelined
+     * deployments that interleave layers with other work.
+     *
+     * @param x (batch * seq_len) x hidden input activations
+     * @param layer encoder layer index
+     */
+    Matrix runEncoderLayer(const Matrix &x, std::size_t layer,
+                           std::uint64_t batch, std::uint64_t seq_len,
+                           NumericsMode mode = NumericsMode::Fp32,
+                           OpTrace *trace = nullptr) const;
+
+    /**
+     * Mean-pooled final hidden state per sequence (the TAPE-style feature
+     * vector used by the Section 2.2 downstream regression). PAD
+     * positions are excluded from the mean.
+     */
+    Matrix extractFeatures(
+        const std::vector<std::vector<std::uint32_t>> &tokens,
+        NumericsMode mode = NumericsMode::Fp32) const;
+
+    /**
+     * Replace the special-function lookup tables used by Bf16Lut mode —
+     * the knob behind the Figures 13/14 window-size ablation ("we have
+     * validated that these truncation policies do not affect the
+     * accuracy of the models we study").
+     */
+    void setSpecialFunctionLuts(TwoLevelLut gelu, TwoLevelLut exp);
+
+    const BertConfig &config() const { return config_; }
+    const BertWeights &weights() const { return weights_; }
+
+  private:
+    /** Embedding lookup + position add + LayerNorm. */
+    Matrix embed(const std::vector<std::vector<std::uint32_t>> &tokens,
+                 NumericsMode mode, OpTrace *trace) const;
+
+    /**
+     * One encoder layer over flattened hidden states.
+     * @param pad_mask per-token PAD flags (batch * seq_len), or nullptr
+     *        when nothing is padded
+     */
+    Matrix encoderLayer(const Matrix &x, const LayerWeights &lw,
+                        int layer, std::uint64_t batch,
+                        std::uint64_t seq_len, NumericsMode mode,
+                        OpTrace *trace,
+                        const std::vector<std::uint8_t> *pad_mask) const;
+
+    /** MatMul respecting the numerics mode. */
+    Matrix modalMatmul(const Matrix &a, const Matrix &b,
+                       NumericsMode mode) const;
+
+    /** Elementwise quantization when the mode is a bf16 mode. */
+    void modalQuantize(Matrix &m, NumericsMode mode) const;
+
+    BertConfig config_;
+    BertWeights weights_;
+    TwoLevelLut geluLut_;
+    TwoLevelLut expLut_;
+};
+
+} // namespace prose
+
+#endif // PROSE_MODEL_BERT_MODEL_HH

@@ -1,0 +1,172 @@
+#include "weights_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+namespace {
+
+constexpr char kMagic[4] = { 'P', 'R', 'S', 'W' };
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &out, std::uint32_t value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+std::uint32_t
+readU32(std::istream &in)
+{
+    std::uint32_t value = 0;
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    if (!in)
+        fatal("truncated weights checkpoint");
+    return value;
+}
+
+void
+writeMatrix(std::ostream &out, const Matrix &m)
+{
+    out.write(reinterpret_cast<const char *>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+void
+readMatrix(std::istream &in, Matrix &m)
+{
+    in.read(reinterpret_cast<char *>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!in)
+        fatal("truncated weights checkpoint (tensor data)");
+}
+
+void
+writeVector(std::ostream &out, const std::vector<float> &v)
+{
+    out.write(reinterpret_cast<const char *>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void
+readVector(std::istream &in, std::vector<float> &v)
+{
+    in.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+    if (!in)
+        fatal("truncated weights checkpoint (vector data)");
+}
+
+/** Visit every tensor in a fixed, versioned order. */
+template <typename MatrixFn, typename VectorFn>
+void
+visitTensors(BertWeights &w, MatrixFn &&on_matrix, VectorFn &&on_vector)
+{
+    on_matrix(w.tokenEmbedding);
+    on_matrix(w.positionEmbedding);
+    on_vector(w.lnEmbGamma);
+    on_vector(w.lnEmbBeta);
+    for (LayerWeights &layer : w.layers) {
+        on_matrix(layer.wq);
+        on_vector(layer.bq);
+        on_matrix(layer.wk);
+        on_vector(layer.bk);
+        on_matrix(layer.wv);
+        on_vector(layer.bv);
+        on_matrix(layer.wo);
+        on_vector(layer.bo);
+        on_vector(layer.lnAttnGamma);
+        on_vector(layer.lnAttnBeta);
+        on_matrix(layer.w1);
+        on_vector(layer.b1);
+        on_matrix(layer.w2);
+        on_vector(layer.b2);
+        on_vector(layer.lnOutGamma);
+        on_vector(layer.lnOutBeta);
+    }
+    on_matrix(w.poolerW);
+    on_vector(w.poolerB);
+}
+
+} // namespace
+
+void
+writeWeights(std::ostream &out, const BertConfig &config,
+             const BertWeights &weights)
+{
+    out.write(kMagic, sizeof(kMagic));
+    writeU32(out, kVersion);
+    writeU32(out, static_cast<std::uint32_t>(config.vocabSize));
+    writeU32(out, static_cast<std::uint32_t>(config.hidden));
+    writeU32(out, static_cast<std::uint32_t>(config.layers));
+    writeU32(out, static_cast<std::uint32_t>(config.heads));
+    writeU32(out, static_cast<std::uint32_t>(config.intermediate));
+    writeU32(out, static_cast<std::uint32_t>(config.maxSeqLen));
+
+    // visitTensors mutates in the read direction only; const_cast is
+    // confined to this serializer.
+    auto &mutable_weights = const_cast<BertWeights &>(weights);
+    visitTensors(
+        mutable_weights, [&](Matrix &m) { writeMatrix(out, m); },
+        [&](std::vector<float> &v) { writeVector(out, v); });
+    if (!out)
+        fatal("failed writing weights checkpoint");
+}
+
+BertWeights
+readWeights(std::istream &in, const BertConfig &config)
+{
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("not a ProSE weights checkpoint");
+    const std::uint32_t version = readU32(in);
+    if (version != kVersion)
+        fatal("unsupported weights checkpoint version ", version);
+
+    auto expect = [&](std::uint64_t want, const char *what) {
+        const std::uint32_t got = readU32(in);
+        if (got != want)
+            fatal("checkpoint ", what, " (", got,
+                  ") does not match the config (", want, ")");
+    };
+    expect(config.vocabSize, "vocab size");
+    expect(config.hidden, "hidden size");
+    expect(config.layers, "layer count");
+    expect(config.heads, "head count");
+    expect(config.intermediate, "intermediate size");
+    expect(config.maxSeqLen, "max sequence length");
+
+    // Allocate the right shapes, then overwrite with the stream.
+    BertWeights weights = BertWeights::initialize(config, 0);
+    visitTensors(
+        weights, [&](Matrix &m) { readMatrix(in, m); },
+        [&](std::vector<float> &v) { readVector(in, v); });
+    return weights;
+}
+
+void
+writeWeightsFile(const std::string &path, const BertConfig &config,
+                 const BertWeights &weights)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open weights file for writing: ", path);
+    writeWeights(out, config, weights);
+}
+
+BertWeights
+readWeightsFile(const std::string &path, const BertConfig &config)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open weights file: ", path);
+    return readWeights(in, config);
+}
+
+} // namespace prose

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary checkpointing for BertWeights. A deployed engine trains or
+ * downloads an encoder once and serves it from every tool (screening,
+ * scanning, evolution); this format round-trips the full parameter set
+ * bit-exactly.
+ *
+ * Layout: magic "PRSW", u32 version, the config dims, then each tensor
+ * as raw little-endian fp32 in a fixed order. Guarded by dimension
+ * checks on load — a checkpoint only loads into a matching config.
+ */
+
+#ifndef PROSE_MODEL_WEIGHTS_IO_HH
+#define PROSE_MODEL_WEIGHTS_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "weights.hh"
+
+namespace prose {
+
+/** Serialize weights (with their config dims) to a stream. */
+void writeWeights(std::ostream &out, const BertConfig &config,
+                  const BertWeights &weights);
+
+/** Serialize to a file path (fatal on I/O failure). */
+void writeWeightsFile(const std::string &path, const BertConfig &config,
+                      const BertWeights &weights);
+
+/**
+ * Load weights for `config` from a stream. Fatal if the stream is not a
+ * checkpoint or its dimensions disagree with `config`.
+ */
+BertWeights readWeights(std::istream &in, const BertConfig &config);
+
+/** Load from a file path (fatal on I/O failure). */
+BertWeights readWeightsFile(const std::string &path,
+                            const BertConfig &config);
+
+} // namespace prose
+
+#endif // PROSE_MODEL_WEIGHTS_IO_HH

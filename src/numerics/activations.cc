@@ -1,0 +1,39 @@
+#include "activations.hh"
+
+#include <cmath>
+
+namespace prose {
+
+float
+geluTanh(float x)
+{
+    const float kSqrt2OverPi = 0.7978845608028654f;
+    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float
+geluErf(float x)
+{
+    const float kInvSqrt2 = 0.7071067811865476f;
+    return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
+}
+
+float
+expRef(float x)
+{
+    return std::exp(x);
+}
+
+float
+sigmoid(float x)
+{
+    if (x >= 0.0f) {
+        const float z = std::exp(-x);
+        return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+}
+
+} // namespace prose

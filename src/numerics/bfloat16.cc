@@ -1,0 +1,103 @@
+#include "bfloat16.hh"
+
+#include <cstring>
+
+namespace prose {
+
+namespace {
+
+std::uint32_t
+floatBits(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float
+bitsToFloat(std::uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // namespace
+
+std::uint16_t
+Bfloat16::roundFromFloat(float value)
+{
+    std::uint32_t bits = floatBits(value);
+
+    // NaN: keep the sign, force a quiet-NaN payload so the result stays
+    // a NaN after truncation even if the payload's top bits were zero.
+    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu)) {
+        return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+    }
+
+    // Round to nearest even on the 16 bits we are about to drop.
+    const std::uint32_t rounding_bias = 0x7fffu + ((bits >> 16) & 1u);
+    bits += rounding_bias;
+    return static_cast<std::uint16_t>(bits >> 16);
+}
+
+float
+Bfloat16::toFloat() const
+{
+    return bitsToFloat(static_cast<std::uint32_t>(bits_) << 16);
+}
+
+Bfloat16
+truncateToBf16(float value)
+{
+    return Bfloat16::fromBits(
+        static_cast<std::uint16_t>(floatBits(value) >> 16));
+}
+
+Bfloat16
+Bfloat16::operator-() const
+{
+    return fromBits(static_cast<std::uint16_t>(bits_ ^ 0x8000u));
+}
+
+Bfloat16
+Bfloat16::operator+(Bfloat16 other) const
+{
+    return Bfloat16(toFloat() + other.toFloat());
+}
+
+Bfloat16
+Bfloat16::operator-(Bfloat16 other) const
+{
+    return Bfloat16(toFloat() - other.toFloat());
+}
+
+Bfloat16
+Bfloat16::operator*(Bfloat16 other) const
+{
+    return Bfloat16(toFloat() * other.toFloat());
+}
+
+Bfloat16
+Bfloat16::operator/(Bfloat16 other) const
+{
+    return Bfloat16(toFloat() / other.toFloat());
+}
+
+bool
+Bfloat16::operator==(Bfloat16 other) const
+{
+    if (isZero() && other.isZero())
+        return true;
+    if (isNan() || other.isNan())
+        return false;
+    return bits_ == other.bits_;
+}
+
+std::ostream &
+operator<<(std::ostream &os, Bfloat16 v)
+{
+    return os << v.toFloat();
+}
+
+} // namespace prose

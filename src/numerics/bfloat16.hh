@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Software bfloat16 (brain floating point): 1 sign bit, 8 exponent bits,
+ * 7 mantissa bits — the top half of an IEEE-754 binary32.
+ *
+ * ProSE's systolic arrays multiply in bfloat16 and accumulate in fp32
+ * (Section 3.2 / Figure 10(b)); this type provides the exact conversion
+ * semantics the hardware uses: round-to-nearest-even on fp32 -> bf16, and
+ * bit-exact widening bf16 -> fp32. Arithmetic between Bfloat16 values is
+ * performed in fp32 and re-rounded, which matches a MAC whose product is
+ * formed exactly and then truncated to the destination format.
+ */
+
+#ifndef PROSE_NUMERICS_BFLOAT16_HH
+#define PROSE_NUMERICS_BFLOAT16_HH
+
+#include <cstdint>
+#include <ostream>
+
+namespace prose {
+
+/** A 16-bit brain-float value. POD; safe to memcpy and stream. */
+class Bfloat16
+{
+  public:
+    /** Zero-initialized. */
+    constexpr Bfloat16() = default;
+
+    /** Round a binary32 to the nearest bfloat16 (ties to even). */
+    explicit Bfloat16(float value) : bits_(roundFromFloat(value)) {}
+
+    /** Reinterpret raw storage bits as a bfloat16. */
+    static constexpr Bfloat16
+    fromBits(std::uint16_t bits)
+    {
+        Bfloat16 v;
+        v.bits_ = bits;
+        return v;
+    }
+
+    /** Exact widening conversion to binary32. */
+    float toFloat() const;
+
+    /** Raw storage bits. */
+    constexpr std::uint16_t bits() const { return bits_; }
+
+    /** Sign bit (1 = negative). */
+    constexpr int signBit() const { return (bits_ >> 15) & 0x1; }
+
+    /** Biased exponent field, 0..255. */
+    constexpr int biasedExponent() const { return (bits_ >> 7) & 0xff; }
+
+    /** Unbiased exponent (biased - 127); meaningless for zero/denormal. */
+    constexpr int exponent() const { return biasedExponent() - 127; }
+
+    /** Mantissa field, 7 bits. */
+    constexpr int mantissa() const { return bits_ & 0x7f; }
+
+    /** True for +0 or -0. */
+    constexpr bool isZero() const { return (bits_ & 0x7fff) == 0; }
+
+    /** True for either infinity. */
+    constexpr bool
+    isInf() const
+    {
+        return biasedExponent() == 0xff && mantissa() == 0;
+    }
+
+    /** True for any NaN encoding. */
+    constexpr bool
+    isNan() const
+    {
+        return biasedExponent() == 0xff && mantissa() != 0;
+    }
+
+    /** fp32 -> bf16 bits with round-to-nearest-even, NaN-preserving. */
+    static std::uint16_t roundFromFloat(float value);
+
+    Bfloat16 operator-() const;
+    Bfloat16 operator+(Bfloat16 other) const;
+    Bfloat16 operator-(Bfloat16 other) const;
+    Bfloat16 operator*(Bfloat16 other) const;
+    Bfloat16 operator/(Bfloat16 other) const;
+
+    /** Bit-pattern equality except both zeros compare equal. */
+    bool operator==(Bfloat16 other) const;
+    bool operator!=(Bfloat16 other) const { return !(*this == other); }
+    bool operator<(Bfloat16 other) const
+    {
+        return toFloat() < other.toFloat();
+    }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+/** Round-trip helper: quantize an fp32 value through bfloat16. */
+inline float
+quantizeBf16(float value)
+{
+    return Bfloat16(value).toFloat();
+}
+
+/**
+ * Truncate an fp32 value to bfloat16 by dropping the low 16 bits — the
+ * semantics of the ProSE PE OUTPUT port, which taps accumulator bits
+ * [31:16] directly (Figure 10(b)). No rounding is applied.
+ */
+Bfloat16 truncateToBf16(float value);
+
+/** Float-in/float-out wrapper around truncateToBf16. */
+inline float
+truncateBf16(float value)
+{
+    return truncateToBf16(value).toFloat();
+}
+
+std::ostream &operator<<(std::ostream &os, Bfloat16 v);
+
+} // namespace prose
+
+#endif // PROSE_NUMERICS_BFLOAT16_HH

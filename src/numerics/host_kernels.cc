@@ -1,0 +1,80 @@
+#include "host_kernels.hh"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "bfloat16.hh"
+
+namespace prose {
+
+void
+parallelRows(std::size_t rows, unsigned workers,
+             const std::function<void(std::size_t)> &fn)
+{
+    PROSE_ASSERT(workers >= 1, "need at least one host worker");
+    if (workers == 1 || rows < 2 * workers) {
+        for (std::size_t row = 0; row < rows; ++row)
+            fn(row);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            // Contiguous row blocks keep each worker streaming.
+            const std::size_t begin = rows * w / workers;
+            const std::size_t end = rows * (w + 1) / workers;
+            for (std::size_t row = begin; row < end; ++row)
+                fn(row);
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+}
+
+void
+hostSoftmaxDivide(Matrix &exp_values, unsigned workers)
+{
+    parallelRows(exp_values.rows(), workers, [&](std::size_t row) {
+        double denom = 0.0;
+        float *values = exp_values.row(row);
+        for (std::size_t j = 0; j < exp_values.cols(); ++j)
+            denom += values[j];
+        PROSE_ASSERT(denom > 0.0, "softmax row summed to zero");
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::size_t j = 0; j < exp_values.cols(); ++j)
+            values[j] = quantizeBf16(values[j] * inv);
+    });
+}
+
+void
+hostLayerNorm(Matrix &activations, const std::vector<float> &gamma,
+              const std::vector<float> &beta, float eps, unsigned workers)
+{
+    PROSE_ASSERT(gamma.size() == activations.cols() &&
+                     beta.size() == activations.cols(),
+                 "layer-norm gain/bias arity mismatch");
+    const std::size_t cols = activations.cols();
+    parallelRows(activations.rows(), workers, [&](std::size_t row) {
+        float *values = activations.row(row);
+        double sum = 0.0;
+        for (std::size_t j = 0; j < cols; ++j)
+            sum += values[j];
+        const double mu = sum / static_cast<double>(cols);
+        double var = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double d = values[j] - mu;
+            var += d * d;
+        }
+        var /= static_cast<double>(cols);
+        const double inv = 1.0 / std::sqrt(var + eps);
+        for (std::size_t j = 0; j < cols; ++j) {
+            values[j] = quantizeBf16(static_cast<float>(
+                gamma[j] * (values[j] - mu) * inv + beta[j]));
+        }
+    });
+}
+
+} // namespace prose

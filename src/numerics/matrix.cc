@@ -1,0 +1,264 @@
+#include "matrix.hh"
+
+#include <cmath>
+
+#include "bfloat16.hh"
+#include "common/logging.hh"
+
+namespace prose {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+float &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    PROSE_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    PROSE_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+void
+Matrix::fillGaussian(Rng &rng, float mean, float stddev)
+{
+    for (float &x : data_)
+        x = static_cast<float>(rng.gaussian(mean, stddev));
+}
+
+void
+Matrix::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (float &x : data_)
+        x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void
+Matrix::quantizeBf16InPlace()
+{
+    for (float &x : data_)
+        x = quantizeBf16(x);
+}
+
+float
+Matrix::maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    PROSE_ASSERT(a.sameShape(b), "maxAbsDiff shape mismatch");
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < a.data_.size(); ++i)
+        worst = std::max(worst, std::fabs(a.data_[i] - b.data_[i]));
+    return worst;
+}
+
+float
+Matrix::frobeniusNorm() const
+{
+    double acc = 0.0;
+    for (float x : data_)
+        acc += static_cast<double>(x) * x;
+    return static_cast<float>(std::sqrt(acc));
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    PROSE_ASSERT(a.cols() == b.rows(), "matmul inner-dim mismatch: ",
+                 a.cols(), " vs ", b.rows());
+    Matrix c(a.rows(), b.cols());
+    // i-k-j loop order keeps the inner loop streaming over rows of B.
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        float *crow = c.row(i);
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a.row(i)[k];
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulBf16(const Matrix &a, const Matrix &b)
+{
+    PROSE_ASSERT(a.cols() == b.rows(), "matmulBf16 inner-dim mismatch");
+    // Quantize operands once up front (what streaming bf16 inputs see).
+    Matrix aq = a;
+    Matrix bq = b;
+    aq.quantizeBf16InPlace();
+    bq.quantizeBf16InPlace();
+    // Accumulate in fp32 like the 32-bit PE accumulators.
+    return matmul(aq, bq);
+}
+
+Matrix
+mulAdd(float alpha, const Matrix &a, float beta, const Matrix &b)
+{
+    PROSE_ASSERT(a.sameShape(b), "mulAdd shape mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c(i, j) = alpha * a(i, j) + beta * b(i, j);
+    return c;
+}
+
+Matrix
+matDiv(const Matrix &a, float alpha)
+{
+    PROSE_ASSERT(alpha != 0.0f, "matDiv by zero");
+    return scale(a, 1.0f / alpha);
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    return mulAdd(1.0f, a, 1.0f, b);
+}
+
+Matrix
+scale(const Matrix &a, float s)
+{
+    Matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c(i, j) = a(i, j) * s;
+    return c;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+Matrix
+map(const Matrix &a, float (*f)(float))
+{
+    Matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c(i, j) = f(a(i, j));
+    return c;
+}
+
+Matrix
+rowSoftmax(const Matrix &a)
+{
+    Matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        // Subtract the row max for numerical stability.
+        float row_max = a(i, 0);
+        for (std::size_t j = 1; j < a.cols(); ++j)
+            row_max = std::max(row_max, a(i, j));
+        double denom = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            const float e = std::exp(a(i, j) - row_max);
+            c(i, j) = e;
+            denom += e;
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c(i, j) *= inv;
+    }
+    return c;
+}
+
+Matrix
+layerNorm(const Matrix &a, const std::vector<float> &gamma,
+          const std::vector<float> &beta, float eps)
+{
+    PROSE_ASSERT(gamma.size() == a.cols() && beta.size() == a.cols(),
+                 "layerNorm gain/bias arity mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            sum += a(i, j);
+        const double mu = sum / static_cast<double>(a.cols());
+        double var = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            const double d = a(i, j) - mu;
+            var += d * d;
+        }
+        var /= static_cast<double>(a.cols());
+        const double inv = 1.0 / std::sqrt(var + eps);
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            c(i, j) = static_cast<float>(
+                gamma[j] * (a(i, j) - mu) * inv + beta[j]);
+        }
+    }
+    return c;
+}
+
+std::vector<Matrix>
+bmm(const std::vector<Matrix> &a, const std::vector<Matrix> &b)
+{
+    PROSE_ASSERT(a.size() == b.size(), "bmm batch mismatch");
+    std::vector<Matrix> c;
+    c.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        c.push_back(matmul(a[i], b[i]));
+    return c;
+}
+
+Matrix
+hconcat(const std::vector<Matrix> &parts)
+{
+    PROSE_ASSERT(!parts.empty(), "hconcat of nothing");
+    std::size_t total_cols = 0;
+    for (const auto &p : parts) {
+        PROSE_ASSERT(p.rows() == parts[0].rows(), "hconcat row mismatch");
+        total_cols += p.cols();
+    }
+    Matrix out(parts[0].rows(), total_cols);
+    std::size_t col_base = 0;
+    for (const auto &p : parts) {
+        for (std::size_t i = 0; i < p.rows(); ++i)
+            for (std::size_t j = 0; j < p.cols(); ++j)
+                out(i, col_base + j) = p(i, j);
+        col_base += p.cols();
+    }
+    return out;
+}
+
+Matrix
+sliceCols(const Matrix &a, std::size_t begin, std::size_t count)
+{
+    PROSE_ASSERT(begin + count <= a.cols(), "sliceCols out of range");
+    Matrix out(a.rows(), count);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < count; ++j)
+            out(i, j) = a(i, begin + j);
+    return out;
+}
+
+Matrix
+sliceRows(const Matrix &a, std::size_t begin, std::size_t count)
+{
+    PROSE_ASSERT(begin + count <= a.rows(), "sliceRows out of range");
+    Matrix out(count, a.cols());
+    for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            out(i, j) = a(begin + i, j);
+    return out;
+}
+
+} // namespace prose

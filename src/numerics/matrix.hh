@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dense row-major matrix over float, plus the tensor-op vocabulary the
+ * Protein BERT workload needs (matmul, batched matmul, MulAdd, MatDiv,
+ * softmax, GELU, LayerNorm). The bf16 variants mirror the accelerator
+ * datapath exactly: operands quantized to bfloat16, products accumulated
+ * in fp32.
+ */
+
+#ifndef PROSE_NUMERICS_MATRIX_HH
+#define PROSE_NUMERICS_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace prose {
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-filled. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** rows x cols matrix filled with `fill`. */
+    Matrix(std::size_t rows, std::size_t cols, float fill);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &at(std::size_t r, std::size_t c);
+    float at(std::size_t r, std::size_t c) const;
+
+    float &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    float operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+    const float *data() const { return data_.data(); }
+    float *data() { return data_.data(); }
+
+    /** Pointer to the start of row r. */
+    const float *row(std::size_t r) const { return data_.data() + r * cols_; }
+    float *row(std::size_t r) { return data_.data() + r * cols_; }
+
+    /** Fill with i.i.d. N(mean, stddev) draws. */
+    void fillGaussian(Rng &rng, float mean, float stddev);
+
+    /** Fill with uniform draws in [lo, hi). */
+    void fillUniform(Rng &rng, float lo, float hi);
+
+    /** In-place quantization of every element through bfloat16. */
+    void quantizeBf16InPlace();
+
+    /** Largest |a - b| over all elements; matrices must be same shape. */
+    static float maxAbsDiff(const Matrix &a, const Matrix &b);
+
+    /** Frobenius norm. */
+    float frobeniusNorm() const;
+
+    bool sameShape(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** C = A x B in fp32. */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/**
+ * C = A x B with the accelerator's numerics: A and B quantized to bf16,
+ * products accumulated in fp32 (no intermediate rounding), and the result
+ * left in fp32 exactly as the 32-bit accumulators hold it.
+ */
+Matrix matmulBf16(const Matrix &a, const Matrix &b);
+
+/** C = alpha*A + beta*B elementwise (the paper's MulAdd primitive). */
+Matrix mulAdd(float alpha, const Matrix &a, float beta, const Matrix &b);
+
+/** C = A * (1/alpha) elementwise (the paper's MatDiv primitive). */
+Matrix matDiv(const Matrix &a, float alpha);
+
+/** C = A + B. */
+Matrix add(const Matrix &a, const Matrix &b);
+
+/** C = A * s. */
+Matrix scale(const Matrix &a, float s);
+
+/** Transpose. */
+Matrix transpose(const Matrix &a);
+
+/** Apply f to every element. */
+Matrix map(const Matrix &a, float (*f)(float));
+
+/** Row-wise softmax (each row sums to 1). */
+Matrix rowSoftmax(const Matrix &a);
+
+/**
+ * Row-wise LayerNorm with per-column gain/bias:
+ * out[r][c] = gamma[c] * (a[r][c] - mu_r) / sqrt(var_r + eps) + beta[c].
+ */
+Matrix layerNorm(const Matrix &a, const std::vector<float> &gamma,
+                 const std::vector<float> &beta, float eps = 1e-12f);
+
+/** Batched matmul: C[i] = A[i] x B[i]. */
+std::vector<Matrix> bmm(const std::vector<Matrix> &a,
+                        const std::vector<Matrix> &b);
+
+/** Concatenate matrices left-to-right (same row count). */
+Matrix hconcat(const std::vector<Matrix> &parts);
+
+/** Slice columns [begin, begin+count). */
+Matrix sliceCols(const Matrix &a, std::size_t begin, std::size_t count);
+
+/** Slice rows [begin, begin+count). */
+Matrix sliceRows(const Matrix &a, std::size_t begin, std::size_t count);
+
+} // namespace prose
+
+#endif // PROSE_NUMERICS_MATRIX_HH

@@ -1,0 +1,81 @@
+#include "component_db.hh"
+
+#include "common/logging.hh"
+
+namespace prose {
+
+double
+ComponentSpec::percentA100Power(bool with_buffer) const
+{
+    const double mw = with_buffer ? powerInBufMw : powerMw;
+    return mw / 1000.0 / kA100PowerWatts * 100.0;
+}
+
+double
+ComponentSpec::percentA100Area(bool with_buffer) const
+{
+    const double mm2 = with_buffer ? areaInBufMm2 : areaMm2;
+    return mm2 / kA100AreaMm2 * 100.0;
+}
+
+ComponentDb::ComponentDb()
+{
+    // Table 2 of the paper, verbatim: {dim, gelu, exp, MHz, mW, mW+buf,
+    // mm2, mm2+buf}.
+    specs_ = {
+        { 16, false, false, 1977.1, 249.3, 268.6, 0.183, 0.213 },
+        { 16, false, true, 925.2, 260.2, 279.5, 0.190, 0.221 },
+        { 16, true, false, 887.1, 255.1, 274.4, 0.187, 0.217 },
+        { 32, false, false, 1707.1, 802.6, 841.2, 0.706, 0.766 },
+        { 32, false, true, 886.8, 830.0, 868.5, 0.725, 0.786 },
+        { 32, true, false, 870.3, 808.4, 847.0, 0.719, 0.779 },
+        { 64, false, false, 1626.1, 2552.1, 2629.1, 2.788, 2.908 },
+        { 64, false, true, 858.1, 2578.2, 2655.2, 2.829, 2.949 },
+        { 64, true, false, 860.4, 2514.8, 2591.8, 2.816, 2.936 },
+        { 64, true, true, 858.1, 2585.8, 2662.9, 2.863, 2.983 },
+    };
+}
+
+const ComponentDb &
+ComponentDb::instance()
+{
+    static const ComponentDb db;
+    return db;
+}
+
+const ComponentSpec &
+ComponentDb::lookup(std::uint32_t dim, bool has_gelu, bool has_exp) const
+{
+    for (const auto &spec : specs_) {
+        if (spec.dim == dim && spec.hasGelu == has_gelu &&
+            spec.hasExp == has_exp) {
+            return spec;
+        }
+    }
+    fatal("no Table 2 component for a ", dim, "x", dim, " array",
+          has_gelu ? " +GELU" : "", has_exp ? " +Exp" : "");
+}
+
+const ComponentSpec &
+ComponentDb::lookup(const ArrayGeometry &geometry) const
+{
+    return lookup(geometry.dim, geometry.hasGelu, geometry.hasExp);
+}
+
+double
+ComponentDb::arrayPowerWatts(const ArrayGeometry &geometry,
+                             bool with_buffer) const
+{
+    const ComponentSpec &spec = lookup(geometry);
+    return (with_buffer ? spec.powerInBufMw : spec.powerMw) / 1000.0;
+}
+
+double
+ComponentDb::arrayAreaMm2(const ArrayGeometry &geometry,
+                          bool with_buffer) const
+{
+    const ComponentSpec &spec = lookup(geometry);
+    return with_buffer ? spec.areaInBufMm2 : spec.areaMm2;
+}
+
+} // namespace prose

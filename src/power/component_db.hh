@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Physical-design component library — the paper's Table 2. Each entry is
+ * one systolic-array flavour (size x LUT complement), synthesized in
+ * FreePDK 15 nm (OpenRAM 45 nm for the input buffers) and conservatively
+ * scaled to 7 nm, reported as frequency, power (with and without the
+ * input buffer), and area (likewise), plus the fraction of an A100's
+ * 400 W TDP and 826 mm^2 die these represent.
+ */
+
+#ifndef PROSE_POWER_COMPONENT_DB_HH
+#define PROSE_POWER_COMPONENT_DB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "systolic/array_config.hh"
+
+namespace prose {
+
+/** Reference A100 numbers the paper normalizes against. */
+constexpr double kA100PowerWatts = 400.0;
+constexpr double kA100AreaMm2 = 826.0;
+
+/** One Table 2 row. */
+struct ComponentSpec
+{
+    std::uint32_t dim;      ///< array size (n x n)
+    bool hasGelu;           ///< GELU LUT complement
+    bool hasExp;            ///< Exp LUT complement
+    double frequencyMhz;    ///< post-layout clock
+    double powerMw;         ///< array power, no input buffer
+    double powerInBufMw;    ///< array power including the input buffer
+    double areaMm2;         ///< array area, no input buffer
+    double areaInBufMm2;    ///< array area including the input buffer
+
+    double percentA100Power(bool with_buffer) const;
+    double percentA100Area(bool with_buffer) const;
+};
+
+/** Lookup access to the Table 2 library. */
+class ComponentDb
+{
+  public:
+    /** The singleton library (static data, thread-safe to read). */
+    static const ComponentDb &instance();
+
+    /** All rows, in the paper's table order. */
+    const std::vector<ComponentSpec> &components() const
+    {
+        return specs_;
+    }
+
+    /**
+     * The row matching an array geometry. dim must be 16/32/64 and the
+     * LUT complement must exist in the library; anything else is a
+     * configuration error.
+     */
+    const ComponentSpec &lookup(const ArrayGeometry &geometry) const;
+    const ComponentSpec &lookup(std::uint32_t dim, bool has_gelu,
+                                bool has_exp) const;
+
+    /** Power of one array in watts. */
+    double arrayPowerWatts(const ArrayGeometry &geometry,
+                           bool with_buffer) const;
+
+    /** Area of one array in mm^2. */
+    double arrayAreaMm2(const ArrayGeometry &geometry,
+                        bool with_buffer) const;
+
+  private:
+    ComponentDb();
+    std::vector<ComponentSpec> specs_;
+};
+
+} // namespace prose
+
+#endif // PROSE_POWER_COMPONENT_DB_HH

@@ -1,0 +1,61 @@
+#include "power_model.hh"
+
+#include "common/logging.hh"
+
+namespace prose {
+
+PowerModel::PowerModel(HostPowerSpec host)
+    : host_(host)
+{
+}
+
+double
+PowerModel::arrayPowerWatts(const std::vector<ArrayGroupSpec> &groups,
+                            bool with_buffer) const
+{
+    const ComponentDb &db = ComponentDb::instance();
+    double watts = 0.0;
+    for (const auto &group : groups)
+        watts += group.count * db.arrayPowerWatts(group.geometry,
+                                                  with_buffer);
+    return watts;
+}
+
+double
+PowerModel::arrayAreaMm2(const std::vector<ArrayGroupSpec> &groups,
+                         bool with_buffer) const
+{
+    const ComponentDb &db = ComponentDb::instance();
+    double mm2 = 0.0;
+    for (const auto &group : groups)
+        mm2 += group.count * db.arrayAreaMm2(group.geometry, with_buffer);
+    return mm2;
+}
+
+double
+PowerModel::systemPowerWatts(const std::vector<ArrayGroupSpec> &groups,
+                             bool with_buffer, double cpu_duty) const
+{
+    PROSE_ASSERT(cpu_duty >= 0.0 && cpu_duty <= 1.0,
+                 "cpu duty cycle out of [0, 1]");
+    return arrayPowerWatts(groups, with_buffer) +
+           cpu_duty * host_.cpuActiveWatts + host_.dramWatts;
+}
+
+double
+PowerModel::energyJoules(const std::vector<ArrayGroupSpec> &groups,
+                         bool with_buffer, double cpu_duty,
+                         double seconds) const
+{
+    PROSE_ASSERT(seconds >= 0.0, "negative duration");
+    return systemPowerWatts(groups, with_buffer, cpu_duty) * seconds;
+}
+
+double
+PowerModel::efficiency(double inferences_per_second, double watts)
+{
+    PROSE_ASSERT(watts > 0.0, "efficiency with non-positive power");
+    return inferences_per_second / watts;
+}
+
+} // namespace prose

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Aggregate power/area/energy model for a ProSE instance, following the
+ * paper's methodology (Section 4.1): array power from the Table 2
+ * component library; host CPU power measured-style as a duty-cycled
+ * 50.21 W under-ProSE-load figure; DRAM at 6.23 W (cold-miss traffic
+ * only, since intermediates live in the host L3).
+ */
+
+#ifndef PROSE_POWER_POWER_MODEL_HH
+#define PROSE_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "component_db.hh"
+
+namespace prose {
+
+/** One homogeneous slice of a heterogeneous configuration. */
+struct ArrayGroupSpec
+{
+    ArrayGeometry geometry;
+    std::uint32_t count = 0;
+};
+
+/** Host-side power constants from the paper's RAPL measurements. */
+struct HostPowerSpec
+{
+    double cpuActiveWatts = 50.21; ///< package power while serving ProSE
+    double dramWatts = 6.23;       ///< DRAM power under ProSE load
+};
+
+/** Power/area roll-up of one configuration. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(HostPowerSpec host = HostPowerSpec{});
+
+    /** Sum of array powers (watts). */
+    double arrayPowerWatts(const std::vector<ArrayGroupSpec> &groups,
+                           bool with_buffer) const;
+
+    /** Sum of array areas (mm^2). */
+    double arrayAreaMm2(const std::vector<ArrayGroupSpec> &groups,
+                        bool with_buffer) const;
+
+    /**
+     * Whole-system power: arrays + duty-cycled CPU + DRAM.
+     * @param cpu_duty fraction of wall-clock the host CPU spends serving
+     *        ProSE (the paper measured 21.4%)
+     */
+    double systemPowerWatts(const std::vector<ArrayGroupSpec> &groups,
+                            bool with_buffer, double cpu_duty) const;
+
+    /** Energy in joules for a run of the given duration. */
+    double energyJoules(const std::vector<ArrayGroupSpec> &groups,
+                        bool with_buffer, double cpu_duty,
+                        double seconds) const;
+
+    /** Inferences per second per watt. */
+    static double efficiency(double inferences_per_second, double watts);
+
+    const HostPowerSpec &host() const { return host_; }
+
+  private:
+    HostPowerSpec host_;
+};
+
+} // namespace prose
+
+#endif // PROSE_POWER_POWER_MODEL_HH

@@ -1,0 +1,64 @@
+#include "amino_acid.hh"
+
+#include <array>
+
+namespace prose {
+
+namespace {
+
+// code, name, Kyte-Doolittle hydropathy, charge, volume, aromatic
+constexpr std::array<AminoAcid, 20> kCanonical = { {
+    { 'A', "alanine", 1.8, 0.0, 88.6, 0.0 },
+    { 'C', "cysteine", 2.5, 0.0, 108.5, 0.0 },
+    { 'D', "aspartate", -3.5, -1.0, 111.1, 0.0 },
+    { 'E', "glutamate", -3.5, -1.0, 138.4, 0.0 },
+    { 'F', "phenylalanine", 2.8, 0.0, 189.9, 1.0 },
+    { 'G', "glycine", -0.4, 0.0, 60.1, 0.0 },
+    { 'H', "histidine", -3.2, 0.1, 153.2, 1.0 },
+    { 'I', "isoleucine", 4.5, 0.0, 166.7, 0.0 },
+    { 'K', "lysine", -3.9, 1.0, 168.6, 0.0 },
+    { 'L', "leucine", 3.8, 0.0, 166.7, 0.0 },
+    { 'M', "methionine", 1.9, 0.0, 162.9, 0.0 },
+    { 'N', "asparagine", -3.5, 0.0, 114.1, 0.0 },
+    { 'P', "proline", -1.6, 0.0, 112.7, 0.0 },
+    { 'Q', "glutamine", -3.5, 0.0, 143.8, 0.0 },
+    { 'R', "arginine", -4.5, 1.0, 173.4, 0.0 },
+    { 'S', "serine", -0.8, 0.0, 89.0, 0.0 },
+    { 'T', "threonine", -0.7, 0.0, 116.1, 0.0 },
+    { 'V', "valine", 4.2, 0.0, 140.0, 0.0 },
+    { 'W', "tryptophan", -0.9, 0.0, 227.8, 1.0 },
+    { 'Y', "tyrosine", -1.3, 0.0, 193.6, 1.0 },
+} };
+
+const AminoAcid kUnknown{};
+
+} // namespace
+
+const std::string &
+canonicalResidues()
+{
+    static const std::string codes = [] {
+        std::string s;
+        for (const auto &aa : kCanonical)
+            s.push_back(aa.code);
+        return s;
+    }();
+    return codes;
+}
+
+const AminoAcid &
+aminoAcid(char code)
+{
+    for (const auto &aa : kCanonical)
+        if (aa.code == code)
+            return aa;
+    return kUnknown;
+}
+
+bool
+isCanonical(char code)
+{
+    return aminoAcid(code).code == code;
+}
+
+} // namespace prose

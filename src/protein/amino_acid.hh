@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Amino-acid biophysical properties. The synthetic binding-affinity
+ * ground-truth model (binding.hh) scores antibody variants from the
+ * physicochemical character of their paratope residues, which is what
+ * real affinity loosely tracks; the properties here are standard scales
+ * (Kyte-Doolittle hydropathy, net side-chain charge at pH 7, side-chain
+ * volume in cubic angstroms).
+ */
+
+#ifndef PROSE_PROTEIN_AMINO_ACID_HH
+#define PROSE_PROTEIN_AMINO_ACID_HH
+
+#include <string>
+
+namespace prose {
+
+/** Properties of one residue type. */
+struct AminoAcid
+{
+    char code = 'X';          ///< one-letter code
+    const char *name = "unknown";
+    double hydropathy = 0.0;  ///< Kyte-Doolittle scale
+    double charge = 0.0;      ///< net charge at physiological pH
+    double volume = 0.0;      ///< side-chain volume (A^3)
+    double aromatic = 0.0;    ///< 1 for F/W/Y/H, else 0
+};
+
+/** The 20 canonical residues as a string (id order used repo-wide). */
+const std::string &canonicalResidues();
+
+/** Properties of a residue; unknown codes get neutral defaults. */
+const AminoAcid &aminoAcid(char code);
+
+/** True if `code` is one of the 20 canonical residues. */
+bool isCanonical(char code);
+
+} // namespace prose
+
+#endif // PROSE_PROTEIN_AMINO_ACID_HH

@@ -1,0 +1,152 @@
+#include "functional_sim.hh"
+
+#include <algorithm>
+
+#include "numerics/host_kernels.hh"
+#include "common/logging.hh"
+#include "numerics/bfloat16.hh"
+
+namespace prose {
+
+FunctionalSimulator::FunctionalSimulator(ArrayGeometry m_geometry,
+                                         ArrayGeometry g_geometry,
+                                         ArrayGeometry e_geometry)
+    : mArray_(m_geometry), gArray_(g_geometry), eArray_(e_geometry)
+{
+    PROSE_ASSERT(g_geometry.hasGelu, "G-Type array must carry GELU LUTs");
+    PROSE_ASSERT(e_geometry.hasExp, "E-Type array must carry Exp LUTs");
+}
+
+Matrix
+FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
+                              const Matrix &b, float alpha,
+                              const Matrix *addend, bool apply_special,
+                              SimdOp special)
+{
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    PROSE_ASSERT(b.rows() == k, "dataflow operand inner-dim mismatch");
+    if (addend) {
+        const bool broadcast = addend->rows() == 1;
+        PROSE_ASSERT(addend->cols() == n &&
+                         (broadcast || addend->rows() == m),
+                     "dataflow addend shape mismatch");
+    }
+    const std::size_t s = array.geometry().dim;
+
+    Matrix c(m, n);
+    for (std::size_t tm = 0; tm < m; tm += s) {
+        const std::size_t rows = std::min(s, m - tm);
+        for (std::size_t tn = 0; tn < n; tn += s) {
+            const std::size_t cols = std::min(s, n - tn);
+
+            // Stream the full-k tile product into the accumulators.
+            Matrix a_tile(rows, k), b_tile(k, cols);
+            for (std::size_t i = 0; i < rows; ++i)
+                for (std::size_t j = 0; j < k; ++j)
+                    a_tile(i, j) = a(tm + i, j);
+            for (std::size_t i = 0; i < k; ++i)
+                for (std::size_t j = 0; j < cols; ++j)
+                    b_tile(i, j) = b(i, tn + j);
+            array.matmulTile(a_tile, b_tile);
+
+            // Fused MulAdd: MUL pass (broadcast scalar) + ADD pass
+            // (vector register streaming the addend tile).
+            array.simdScalar(SimdOp::MulScalar, alpha);
+            if (addend) {
+                Matrix addend_tile(rows, cols);
+                const bool broadcast = addend->rows() == 1;
+                for (std::size_t i = 0; i < rows; ++i)
+                    for (std::size_t j = 0; j < cols; ++j)
+                        addend_tile(i, j) = broadcast
+                                                ? (*addend)(0, tn + j)
+                                                : (*addend)(tm + i,
+                                                            tn + j);
+                array.simdVector(SimdOp::AddVector, addend_tile);
+            }
+            if (apply_special)
+                array.simdSpecial(special);
+
+            Matrix out;
+            array.drain(out);
+            for (std::size_t i = 0; i < rows; ++i)
+                for (std::size_t j = 0; j < cols; ++j)
+                    c(tm + i, tn + j) = out(i, j);
+        }
+    }
+    return c;
+}
+
+Matrix
+FunctionalSimulator::dataflow1(const Matrix &a, const Matrix &b,
+                               float alpha, const Matrix *addend)
+{
+    return runFused(mArray_, a, b, alpha, addend, false,
+                    SimdOp::MulScalar);
+}
+
+Matrix
+FunctionalSimulator::dataflow2(const Matrix &a, const Matrix &b,
+                               float alpha, const Matrix *addend)
+{
+    return runFused(gArray_, a, b, alpha, addend, true, SimdOp::Gelu);
+}
+
+std::vector<Matrix>
+FunctionalSimulator::dataflow3(const std::vector<Matrix> &q,
+                               const std::vector<Matrix> &k,
+                               const std::vector<Matrix> &v,
+                               float inv_scale)
+{
+    PROSE_ASSERT(q.size() == k.size() && k.size() == v.size(),
+                 "dataflow 3 batch mismatch");
+    std::vector<Matrix> context;
+    context.reserve(q.size());
+    for (std::size_t batch = 0; batch < q.size(); ++batch) {
+        // BMM1 fused with MatDiv (MulScalar by the reciprocal) and Exp,
+        // streaming out to the host.
+        const Matrix kt = transpose(k[batch]);
+        const Matrix exp_scores = runFused(
+            eArray_, q[batch], kt, inv_scale, nullptr, true, SimdOp::Exp);
+
+        // Host-side softmax sum/divide (the real host kernel); the
+        // normalized probabilities return to the accelerator as bf16.
+        Matrix probs = exp_scores;
+        hostSoftmaxDivide(probs);
+
+        // BMM2: context = P x V (no fused SIMD op beyond the drain).
+        context.push_back(runFused(eArray_, probs, v[batch], 1.0f,
+                                   nullptr, false, SimdOp::MulScalar));
+    }
+    return context;
+}
+
+std::uint64_t
+FunctionalSimulator::matmulCycles() const
+{
+    return mArray_.matmulCycles() + gArray_.matmulCycles() +
+           eArray_.matmulCycles();
+}
+
+std::uint64_t
+FunctionalSimulator::simdCycles() const
+{
+    return mArray_.simdCycles() + gArray_.simdCycles() +
+           eArray_.simdCycles();
+}
+
+std::uint64_t
+FunctionalSimulator::macCount() const
+{
+    return mArray_.macCount() + gArray_.macCount() + eArray_.macCount();
+}
+
+double
+FunctionalSimulator::elapsedSeconds() const
+{
+    return mArray_.elapsedSeconds() + gArray_.elapsedSeconds() +
+           eArray_.elapsedSeconds();
+}
+
+} // namespace prose

@@ -1,0 +1,42 @@
+#include "provisioning.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace prose {
+
+double
+supplyRatePerEdge(const ArrayGeometry &geometry, double bytes_per_second)
+{
+    PROSE_ASSERT(bytes_per_second > 0.0, "non-positive link share");
+    const double entry_bytes =
+        static_cast<double>(geometry.dim) * kBf16Bytes;
+    // The share splits across the two operand edges.
+    const double per_edge_bytes_per_second = bytes_per_second / 2.0;
+    const double entries_per_second =
+        per_edge_bytes_per_second / entry_bytes;
+    return entries_per_second / geometry.matmulClockHz;
+}
+
+double
+stallFreeBandwidth(const ArrayGeometry &geometry)
+{
+    // Two edges, each one entry (dim x 2 bytes) per matmul cycle.
+    return 2.0 * static_cast<double>(geometry.dim) * kBf16Bytes *
+           geometry.matmulClockHz;
+}
+
+std::uint32_t
+littlesLawDepth(const ArrayGeometry &geometry,
+                double link_latency_seconds)
+{
+    PROSE_ASSERT(link_latency_seconds >= 0.0, "negative latency");
+    // L = lambda * W with lambda = 1 entry/cycle.
+    const double entries =
+        geometry.matmulClockHz * link_latency_seconds;
+    return static_cast<std::uint32_t>(std::ceil(entries));
+}
+
+} // namespace prose

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Link-provisioning arithmetic (the paper's Little's-Law validation of
+ * the 8-deep stream buffers): translate a per-array link share into the
+ * stream-buffer supply rate the cycle-stepped model consumes, and size
+ * the buffer needed to ride out link latency.
+ */
+
+#ifndef PROSE_SYSTOLIC_PROVISIONING_HH
+#define PROSE_SYSTOLIC_PROVISIONING_HH
+
+#include <cstdint>
+
+#include "array_config.hh"
+
+namespace prose {
+
+/**
+ * Stream-buffer entries per matmul cycle one operand edge receives from
+ * a link share. An entry is one edge-width wavefront of bfloat16
+ * elements; the matmul clock drains one entry per edge per cycle, and
+ * both edges (A and B) share the array's link allocation.
+ *
+ * @param geometry the array being fed
+ * @param bytes_per_second the array's total link share
+ */
+double supplyRatePerEdge(const ArrayGeometry &geometry,
+                         double bytes_per_second);
+
+/**
+ * Link share (bytes/s) needed for stall-free streaming: both edges at
+ * one entry per matmul cycle.
+ */
+double stallFreeBandwidth(const ArrayGeometry &geometry);
+
+/**
+ * Little's Law buffer sizing: entries in flight = arrival rate x link
+ * latency. Returns the minimum buffer depth (entries, rounded up) that
+ * covers `link_latency_seconds` of in-flight supply at one entry per
+ * cycle — the computation behind the paper's "8-deep buffers are
+ * sufficient" claim.
+ */
+std::uint32_t littlesLawDepth(const ArrayGeometry &geometry,
+                              double link_latency_seconds);
+
+} // namespace prose
+
+#endif // PROSE_SYSTOLIC_PROVISIONING_HH

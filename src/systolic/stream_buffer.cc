@@ -1,0 +1,57 @@
+#include "stream_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+StreamBuffer::StreamBuffer(std::uint32_t depth, double supply_rate)
+    : depth_(static_cast<double>(depth)), supplyRate_(supply_rate)
+{
+    PROSE_ASSERT(depth > 0, "stream buffer needs non-zero depth");
+    PROSE_ASSERT(supply_rate > 0.0, "stream buffer needs a supply rate");
+}
+
+bool
+StreamBuffer::tick()
+{
+    occupancy_ = std::min(depth_, occupancy_ + supplyRate_);
+    if (occupancy_ >= 1.0) {
+        occupancy_ -= 1.0;
+        ++consumed_;
+        return true;
+    }
+    ++stalls_;
+    return false;
+}
+
+void
+StreamBuffer::tickNoConsume()
+{
+    occupancy_ = std::min(depth_, occupancy_ + supplyRate_);
+}
+
+void
+StreamBuffer::consume()
+{
+    PROSE_ASSERT(occupancy_ >= 1.0, "consume from an empty stream buffer");
+    occupancy_ -= 1.0;
+    ++consumed_;
+}
+
+void
+StreamBuffer::reset()
+{
+    occupancy_ = 0.0;
+    stalls_ = 0;
+    consumed_ = 0;
+}
+
+void
+StreamBuffer::fill()
+{
+    occupancy_ = depth_;
+}
+
+} // namespace prose

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Register-accurate, cycle-stepped model of one ProSE systolic array.
+ *
+ * matmul mode (Figure 5(b)): an output-stationary n x n array. A-operand
+ * elements stream in from the west edge (one per row per cycle, skewed),
+ * B-operand elements from the north edge; each PE multiplies its two
+ * freshly-latched bf16 inputs and adds the product into a private 32-bit
+ * accumulator, then forwards A east and B south. The product tile stays
+ * in the accumulators — there is no scratchpad — so successive k-tiles
+ * accumulate in place, and a fused SIMD pass can consume the tile without
+ * any intermediate store/refetch.
+ *
+ * simd mode (Figure 5(c) / Figure 12): the array acts as a column
+ * left-rotator. Each cycle the leftmost accumulator column is shifted
+ * into a column of n SIMD ALUs (with optional per-ALU GELU/Exp lookup
+ * tables), combined with a broadcast scalar or a streamed vector-register
+ * operand, and the result re-enters the array on the east edge. After n
+ * cycles every column has been processed and the tile is back in its
+ * original orientation.
+ *
+ * Numerics follow Figure 10(b): MAC inputs are bfloat16, accumulation is
+ * fp32, and any read of an accumulator (SIMD input or the OUTPUT port)
+ * takes bits [31:16] — i.e. truncation to bfloat16, not rounding.
+ *
+ * Streaming follows Figure 10(a): each operand edge is fronted by an
+ * 8-deep streaming buffer filled at the host link's sustained rate; if
+ * either buffer underflows, the whole array stalls for that cycle.
+ */
+
+#ifndef PROSE_SYSTOLIC_SYSTOLIC_ARRAY_HH
+#define PROSE_SYSTOLIC_SYSTOLIC_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "array_config.hh"
+#include "numerics/lut.hh"
+#include "numerics/matrix.hh"
+#include "stream_buffer.hh"
+
+namespace prose {
+
+/** Operations the SIMD column can apply during a rotation pass. */
+enum class SimdOp
+{
+    MulScalar, ///< acc = acc * scalar (broadcast scalar register)
+    AddScalar, ///< acc = acc + scalar
+    MulVector, ///< acc = acc * v[column] (streamed vector register)
+    AddVector, ///< acc = acc + v[column]
+    Gelu,      ///< acc = GELU_LUT(acc); requires a G-Type array
+    Exp,       ///< acc = Exp_LUT(acc); requires an E-Type array
+};
+
+const char *toString(SimdOp op);
+
+/** One cycle-stepped systolic array instance. */
+class SystolicArray
+{
+  public:
+    /**
+     * @param geometry array size/type/clocks
+     * @param a_supply_rate west-edge stream-buffer fill rate,
+     *        entries per matmul cycle (an entry is one skewed input
+     *        wavefront). Use a large value for an idealized host.
+     * @param b_supply_rate north-edge fill rate, same units.
+     */
+    explicit SystolicArray(const ArrayGeometry &geometry,
+                           double a_supply_rate = 1e18,
+                           double b_supply_rate = 1e18);
+
+    /**
+     * Accumulate C += A x B for one tile, cycle-stepped in matmul mode.
+     * A is (rows <= n) x k; B is k x (cols <= n). Rows/columns beyond the
+     * operand shapes simply see no traffic.
+     *
+     * @return matmul-mode cycles spent, including stall cycles.
+     */
+    std::uint64_t matmulTile(const Matrix &a, const Matrix &b);
+
+    /** One rotation pass applying a scalar-register op to every column. */
+    std::uint64_t simdScalar(SimdOp op, float scalar);
+
+    /**
+     * One rotation pass applying a vector-register op. Column j of
+     * `operand` (an up-to-n x n tile matching the live accumulator
+     * region) is streamed into the vector register for pass j; streaming
+     * stalls are modelled through the west-edge buffer.
+     */
+    std::uint64_t simdVector(SimdOp op, const Matrix &operand);
+
+    /** One rotation pass through the GELU or Exp lookup tables. */
+    std::uint64_t simdSpecial(SimdOp op);
+
+    /**
+     * Stream the live accumulator region out through the OUTPUT port
+     * (bits [31:16] per element), one column per cycle, then clear it.
+     *
+     * @param out receives the rows x cols result tile (bf16 values
+     *        widened to float)
+     * @return simd-mode cycles spent
+     */
+    std::uint64_t drain(Matrix &out);
+
+    /** Zero all accumulators and forget the live region. */
+    void clearAccumulators();
+
+    /** Raw fp32 accumulator view of the live region (for testing). */
+    Matrix accumulators() const;
+
+    const ArrayGeometry &geometry() const { return geometry_; }
+
+    /** @name Statistics @{ */
+    std::uint64_t matmulCycles() const { return matmulCycles_; }
+    std::uint64_t simdCycles() const { return simdCycles_; }
+    std::uint64_t stallCycles() const { return stallCycles_; }
+    std::uint64_t macCount() const { return macCount_; }
+    std::uint64_t simdOpCount() const { return simdOpCount_; }
+    /** Wall-clock time of all cycles so far at the two clock rates. */
+    double elapsedSeconds() const;
+    /** @} */
+
+  private:
+    /** PE-register state for the matmul wavefront. */
+    struct Lane
+    {
+        std::vector<float> value;
+        std::vector<std::uint8_t> valid;
+    };
+
+    /** Advance the matmul wavefront by one cycle. */
+    void stepMatmulCycle(const Matrix &a, const Matrix &b,
+                         std::uint64_t wavefront, std::size_t k_depth);
+
+    /** Apply one SIMD ALU operation to a single element. */
+    float applyAlu(SimdOp op, float acc_value, float operand) const;
+
+    /** Rotate the live region left one column, writing `results` into
+     *  the rightmost live column. */
+    void rotateLeft(const std::vector<float> &results);
+
+    ArrayGeometry geometry_;
+    StreamBuffer aBuffer_;
+    StreamBuffer bBuffer_;
+    TwoLevelLut geluLut_;
+    TwoLevelLut expLut_;
+
+    std::vector<float> acc_;   ///< n*n fp32 accumulators
+    Lane aReg_;                ///< eastward-flowing operand registers
+    Lane bReg_;                ///< southward-flowing operand registers
+
+    /** Live (occupied) accumulator region from the last matmul. */
+    std::size_t liveRows_ = 0;
+    std::size_t liveCols_ = 0;
+
+    std::uint64_t matmulCycles_ = 0;
+    std::uint64_t simdCycles_ = 0;
+    std::uint64_t stallCycles_ = 0;
+    std::uint64_t macCount_ = 0;
+    std::uint64_t simdOpCount_ = 0;
+};
+
+} // namespace prose
+
+#endif // PROSE_SYSTOLIC_SYSTOLIC_ARRAY_HH

@@ -1,0 +1,59 @@
+#include "op_trace.hh"
+
+namespace prose {
+
+void
+OpTrace::record(OpKind kind, Sublayer sublayer, int layer,
+                std::uint64_t batch, std::uint64_t m, std::uint64_t k,
+                std::uint64_t n, bool broadcast)
+{
+    Op op;
+    op.kind = kind;
+    op.sublayer = sublayer;
+    op.layer = layer;
+    op.batch = batch;
+    op.m = m;
+    op.k = k;
+    op.n = n;
+    op.broadcast = broadcast;
+    ops_.push_back(op);
+}
+
+double
+OpTrace::totalFlops() const
+{
+    double total = 0.0;
+    for (const auto &op : ops_)
+        total += op.flops();
+    return total;
+}
+
+std::map<OpCategory, double>
+OpTrace::flopsByCategory() const
+{
+    std::map<OpCategory, double> by_cat;
+    for (const auto &op : ops_)
+        by_cat[op.category()] += op.flops();
+    return by_cat;
+}
+
+std::map<OpKind, std::size_t>
+OpTrace::countByKind() const
+{
+    std::map<OpKind, std::size_t> by_kind;
+    for (const auto &op : ops_)
+        ++by_kind[op.kind];
+    return by_kind;
+}
+
+std::vector<Op>
+OpTrace::layerOps(int layer) const
+{
+    std::vector<Op> out;
+    for (const auto &op : ops_)
+        if (op.layer == layer)
+            out.push_back(op);
+    return out;
+}
+
+} // namespace prose

@@ -1,0 +1,103 @@
+#include "trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace prose {
+
+namespace {
+
+const OpKind kAllKinds[] = {
+    OpKind::MatMul, OpKind::Bmm, OpKind::MulAdd, OpKind::MatDiv,
+    OpKind::Exp, OpKind::SoftmaxHost, OpKind::Gelu, OpKind::LayerNorm,
+    OpKind::Embed, OpKind::Transpose,
+};
+
+const Sublayer kAllSublayers[] = {
+    Sublayer::Embedding, Sublayer::Attention, Sublayer::Intermediate,
+    Sublayer::Output, Sublayer::Downstream,
+};
+
+} // namespace
+
+OpKind
+opKindFromString(const std::string &name)
+{
+    for (OpKind kind : kAllKinds)
+        if (name == toString(kind))
+            return kind;
+    fatal("unknown op kind in trace: '", name, "'");
+}
+
+Sublayer
+sublayerFromString(const std::string &name)
+{
+    for (Sublayer sublayer : kAllSublayers)
+        if (name == toString(sublayer))
+            return sublayer;
+    fatal("unknown sublayer in trace: '", name, "'");
+}
+
+void
+writeTrace(std::ostream &out, const OpTrace &trace)
+{
+    out << "# prose op trace v1: kind sublayer layer batch m k n "
+           "broadcast\n";
+    for (const Op &op : trace.ops()) {
+        out << toString(op.kind) << ' ' << toString(op.sublayer) << ' '
+            << op.layer << ' ' << op.batch << ' ' << op.m << ' ' << op.k
+            << ' ' << op.n << ' ' << (op.broadcast ? 1 : 0) << '\n';
+    }
+}
+
+void
+writeTraceFile(const std::string &path, const OpTrace &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file for writing: ", path);
+    writeTrace(out, trace);
+}
+
+OpTrace
+readTrace(std::istream &in)
+{
+    OpTrace trace;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string kind, sublayer;
+        int layer = -1;
+        std::uint64_t batch = 0, m = 0, k = 0, n = 0;
+        int broadcast = 0;
+        if (!(fields >> kind >> sublayer >> layer >> batch >> m >> k >>
+              n >> broadcast)) {
+            fatal("malformed trace line ", line_no, ": '", line, "'");
+        }
+        trace.record(opKindFromString(kind),
+                     sublayerFromString(sublayer), layer, batch, m, k, n,
+                     broadcast != 0);
+    }
+    return trace;
+}
+
+OpTrace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: ", path);
+    return readTrace(in);
+}
+
+} // namespace prose

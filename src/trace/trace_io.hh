@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Text serialization of op traces — the equivalent of dumping the ATen
+ * call stream the paper's PyTorch JIT instrumentation produces, so
+ * traces can be captured once (e.g. from a slow real-math forward) and
+ * replayed into the dataflow builder / performance simulator later or
+ * on another machine.
+ *
+ * Format: one op per line,
+ *   kind sublayer layer batch m k n broadcast
+ * with '#' comment lines and blank lines ignored.
+ */
+
+#ifndef PROSE_TRACE_TRACE_IO_HH
+#define PROSE_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "op_trace.hh"
+
+namespace prose {
+
+/** Serialize a trace to a stream. */
+void writeTrace(std::ostream &out, const OpTrace &trace);
+
+/** Serialize to a file path (fatal on I/O failure). */
+void writeTraceFile(const std::string &path, const OpTrace &trace);
+
+/** Parse a trace from a stream; malformed input is a user error. */
+OpTrace readTrace(std::istream &in);
+
+/** Parse a trace file (fatal on I/O failure). */
+OpTrace readTraceFile(const std::string &path);
+
+/** Enum parse helpers (fatal on unknown names). */
+OpKind opKindFromString(const std::string &name);
+Sublayer sublayerFromString(const std::string &name);
+
+} // namespace prose
+
+#endif // PROSE_TRACE_TRACE_IO_HH

@@ -1,0 +1,120 @@
+/** @file Tests for the length-bucketed batcher. */
+
+#include <gtest/gtest.h>
+
+#include "accel/batcher.hh"
+
+namespace prose {
+namespace {
+
+TEST(Batcher, EverySequenceLandsInOneBatch)
+{
+    const std::vector<std::size_t> lengths{ 30, 100, 100, 500, 1800,
+                                            62,  510, 511 };
+    const BatchPlan plan = planBatches(lengths);
+    EXPECT_EQ(plan.totalSequences, lengths.size());
+    std::uint64_t sequences = 0;
+    for (const auto &batch : plan.batches)
+        sequences += batch.sequences;
+    EXPECT_EQ(sequences, lengths.size());
+}
+
+TEST(Batcher, BucketsChosenTightly)
+{
+    // 100 residues + CLS/SEP = 102 tokens -> the 128 bucket.
+    const BatchPlan plan = planBatches({ 100 });
+    ASSERT_EQ(plan.batches.size(), 1u);
+    EXPECT_EQ(plan.batches[0].paddedLength, 128u);
+    EXPECT_EQ(plan.batches[0].realTokens, 102u);
+    EXPECT_EQ(plan.batches[0].padTokens(), 26u);
+}
+
+TEST(Batcher, ExactFitHasNoPadding)
+{
+    const BatchPlan plan = planBatches({ 62, 62 }); // 64 tokens each
+    ASSERT_EQ(plan.batches.size(), 1u);
+    EXPECT_EQ(plan.batches[0].padTokens(), 0u);
+    EXPECT_DOUBLE_EQ(plan.paddingOverhead(), 0.0);
+}
+
+TEST(Batcher, OverlongSequencesTruncateToLastBucket)
+{
+    const BatchPlan plan = planBatches({ 5000 });
+    ASSERT_EQ(plan.batches.size(), 1u);
+    EXPECT_EQ(plan.batches[0].paddedLength, 2048u);
+    EXPECT_EQ(plan.batches[0].realTokens, 2048u);
+}
+
+TEST(Batcher, MaxBatchSplitsLargeGroups)
+{
+    BatcherSpec spec;
+    spec.maxBatch = 3;
+    const std::vector<std::size_t> lengths(10, 100);
+    const BatchPlan plan = planBatches(lengths, spec);
+    EXPECT_EQ(plan.batches.size(), 4u); // 3+3+3+1
+    EXPECT_EQ(plan.batches.back().sequences, 1u);
+}
+
+TEST(Batcher, PaddingOverheadMatchesHandComputation)
+{
+    // One 30-residue (32 tokens) and one 62-residue (64 tokens) protein
+    // both land in the 64 bucket: 128 padded, 96 real.
+    const BatchPlan plan = planBatches({ 30, 62 });
+    ASSERT_EQ(plan.batches.size(), 1u);
+    EXPECT_EQ(plan.paddedTokens, 128u);
+    EXPECT_EQ(plan.realTokens, 96u);
+    EXPECT_NEAR(plan.paddingOverhead(), 0.25, 1e-12);
+}
+
+TEST(Batcher, BucketingBeatsMaxLengthPadding)
+{
+    // A realistic length mixture: bucketing should waste far fewer
+    // tokens than padding everything to the longest sequence.
+    std::vector<std::size_t> lengths;
+    for (int i = 0; i < 50; ++i)
+        lengths.push_back(80 + (i * 13) % 400);
+    lengths.push_back(1900); // one giant protein
+    const BatchPlan plan = planBatches(lengths);
+
+    std::uint64_t real = 0;
+    for (std::size_t residues : lengths)
+        real += residues + 2;
+    const std::uint64_t max_pad = 2048ull * lengths.size();
+    const double naive_overhead =
+        1.0 - static_cast<double>(real) / max_pad;
+    EXPECT_LT(plan.paddingOverhead(), 0.5 * naive_overhead);
+}
+
+TEST(Batcher, SimulatePlanRunsEveryBatch)
+{
+    const BatchPlan plan = planBatches({ 50, 50, 400, 1000 });
+    const BertShape model{ 2, 768, 12, 3072, 1, 64 };
+    const double seconds =
+        simulateBatchPlan(plan, ProseConfig::bestPerf(), model);
+    EXPECT_GT(seconds, 0.0);
+
+    // Must exceed the largest single-batch time (batches serialize).
+    PerfSim sim(ProseConfig::bestPerf());
+    BertShape biggest = model;
+    biggest.batch = 1;
+    biggest.seqLen = 1024;
+    EXPECT_GT(seconds, sim.run(biggest).makespan * 0.999);
+}
+
+TEST(BatcherDeathTest, BadSpecsPanic)
+{
+    BatcherSpec no_buckets;
+    no_buckets.buckets.clear();
+    EXPECT_DEATH(planBatches({ 10 }, no_buckets), "buckets");
+
+    BatcherSpec unsorted;
+    unsorted.buckets = { 128, 64 };
+    EXPECT_DEATH(planBatches({ 10 }, unsorted), "increasing");
+
+    BatcherSpec zero_batch;
+    zero_batch.maxBatch = 0;
+    EXPECT_DEATH(planBatches({ 10 }, zero_batch), "maxBatch");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,79 @@
+/** @file Tests for the ASCII Gantt renderer. */
+
+#include <gtest/gtest.h>
+
+#include "accel/gantt.hh"
+
+namespace prose {
+namespace {
+
+SimReport
+recordedRun(std::uint32_t threads = 2)
+{
+    SimOptions options;
+    options.recordSchedule = true;
+    ProseConfig config = ProseConfig::bestPerf();
+    config.threads = threads;
+    PerfSim sim(config, TimingModel{}, HostModel{}, options);
+    return sim.run(BertShape{ 2, 768, 12, 3072, threads, 64 });
+}
+
+TEST(Gantt, RendersOneRowPerThread)
+{
+    const SimReport report = recordedRun(3);
+    const std::string text = ganttString(report);
+    EXPECT_NE(text.find("thread 0"), std::string::npos);
+    EXPECT_NE(text.find("thread 1"), std::string::npos);
+    EXPECT_NE(text.find("thread 2"), std::string::npos);
+    EXPECT_NE(text.find("legend"), std::string::npos);
+}
+
+TEST(Gantt, ContainsAllActivitySymbols)
+{
+    const std::string text = ganttString(recordedRun(2));
+    for (char symbol : { '1', '2', '3', 'h' })
+        EXPECT_NE(text.find(symbol), std::string::npos) << symbol;
+}
+
+TEST(Gantt, RowsHaveRequestedWidth)
+{
+    GanttOptions options;
+    options.columns = 40;
+    const std::string text = ganttString(recordedRun(1), options);
+    // Each row is |<columns>|; check the bar width.
+    const auto bar_start = text.find('|');
+    ASSERT_NE(bar_start, std::string::npos);
+    const auto bar_end = text.find('|', bar_start + 1);
+    ASSERT_NE(bar_end, std::string::npos);
+    EXPECT_EQ(bar_end - bar_start - 1, 40u);
+}
+
+TEST(Gantt, PerPoolRowsNamed)
+{
+    GanttOptions options;
+    options.perPool = true;
+    const std::string text = ganttString(recordedRun(2), options);
+    EXPECT_NE(text.find("pool M"), std::string::npos);
+    EXPECT_NE(text.find("pool G"), std::string::npos);
+    EXPECT_NE(text.find("pool E"), std::string::npos);
+    EXPECT_EQ(text.find("thread"), std::string::npos);
+}
+
+TEST(Gantt, MaxRowsClipsOutput)
+{
+    GanttOptions options;
+    options.maxRows = 2;
+    const std::string text = ganttString(recordedRun(4), options);
+    EXPECT_NE(text.find("more rows"), std::string::npos);
+}
+
+TEST(GanttDeathTest, NeedsARecordedSchedule)
+{
+    PerfSim sim(ProseConfig::bestPerf());
+    const SimReport report =
+        sim.run(BertShape{ 2, 768, 12, 3072, 2, 64 });
+    EXPECT_DEATH(ganttString(report), "recorded schedule");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,86 @@
+/** @file Tests for the NVLink model and lane partitions. */
+
+#include <gtest/gtest.h>
+
+#include "accel/link_model.hh"
+
+namespace prose {
+namespace {
+
+TEST(LinkSpec, PaperBandwidthPoints)
+{
+    EXPECT_DOUBLE_EQ(LinkSpec::nvlink2At80().totalBytesPerSecond, 240e9);
+    EXPECT_DOUBLE_EQ(LinkSpec::nvlink2At90().totalBytesPerSecond, 270e9);
+    EXPECT_DOUBLE_EQ(LinkSpec::nvlink3At80().totalBytesPerSecond, 480e9);
+    EXPECT_DOUBLE_EQ(LinkSpec::nvlink3At90().totalBytesPerSecond, 540e9);
+    EXPECT_GT(LinkSpec::infinite().totalBytesPerSecond, 1e15);
+}
+
+TEST(LinkSpec, Nvlink2HasSixLanes)
+{
+    // Section 4.2: 6 x 45 GB/s lanes at 90%.
+    const LinkSpec link = LinkSpec::nvlink2At90();
+    EXPECT_EQ(link.lanes, 6u);
+    EXPECT_DOUBLE_EQ(link.laneBytesPerSecond(), 45e9);
+}
+
+TEST(LinkSpec, PaperSweepHasFivePoints)
+{
+    const auto sweep = LinkSpec::paperSweep();
+    ASSERT_EQ(sweep.size(), 5u);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_GT(sweep[i].totalBytesPerSecond,
+                  sweep[i - 1].totalBytesPerSecond);
+}
+
+TEST(LinkSpec, CustomBandwidth)
+{
+    const LinkSpec link = LinkSpec::custom(360.0);
+    EXPECT_DOUBLE_EQ(link.totalBytesPerSecond, 360e9);
+}
+
+TEST(LanePartition, BandwidthSplitsByLaneCount)
+{
+    const LinkSpec link = LinkSpec::nvlink2At90();
+    const LanePartition lanes{ 3, 1, 2 };
+    EXPECT_DOUBLE_EQ(lanes.bandwidthFor(ArrayType::M, link), 135e9);
+    EXPECT_DOUBLE_EQ(lanes.bandwidthFor(ArrayType::G, link), 45e9);
+    EXPECT_DOUBLE_EQ(lanes.bandwidthFor(ArrayType::E, link), 90e9);
+}
+
+TEST(LanePartition, TotalsAndAccessors)
+{
+    const LanePartition lanes{ 2, 2, 2 };
+    EXPECT_EQ(lanes.total(), 6u);
+    EXPECT_EQ(lanes.lanesFor(ArrayType::M), 2u);
+    EXPECT_EQ(lanes.lanesFor(ArrayType::E), 2u);
+}
+
+TEST(LanePartition, EnumerateCoversAllPositiveSplits)
+{
+    const auto options = LanePartition::enumerate(6);
+    // Compositions of 6 into 3 positive parts: C(5,2) = 10.
+    EXPECT_EQ(options.size(), 10u);
+    for (const auto &option : options) {
+        EXPECT_EQ(option.total(), 6u);
+        EXPECT_GE(option.mLanes, 1u);
+        EXPECT_GE(option.gLanes, 1u);
+        EXPECT_GE(option.eLanes, 1u);
+    }
+}
+
+TEST(LanePartition, EnumerateTwelveLanes)
+{
+    // C(11,2) = 55 compositions for the NVLink 3.0 lane count.
+    EXPECT_EQ(LanePartition::enumerate(12).size(), 55u);
+}
+
+TEST(LanePartitionDeathTest, MismatchedPartitionPanics)
+{
+    const LinkSpec link = LinkSpec::nvlink2At90();
+    const LanePartition lanes{ 2, 2, 3 }; // 7 lanes on a 6-lane link
+    EXPECT_DEATH(lanes.bandwidthFor(ArrayType::M, link), "cover");
+}
+
+} // namespace
+} // namespace prose

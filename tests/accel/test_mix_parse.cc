@@ -1,0 +1,74 @@
+/** @file Tests for mix/lane spec parsing. */
+
+#include <gtest/gtest.h>
+
+#include "accel/mix_parse.hh"
+
+namespace prose {
+namespace {
+
+TEST(MixParse, ParsesPaperBestPerf)
+{
+    const auto groups = parseMixSpec("M64x2,G16x10,E16x22");
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0].geometry.type, ArrayType::M);
+    EXPECT_EQ(groups[0].geometry.dim, 64u);
+    EXPECT_EQ(groups[0].count, 2u);
+    EXPECT_TRUE(groups[1].geometry.hasGelu);
+    EXPECT_EQ(groups[1].count, 10u);
+    EXPECT_TRUE(groups[2].geometry.hasExp);
+    EXPECT_EQ(groups[2].count, 22u);
+}
+
+TEST(MixParse, AcceptsWhitespaceAndCase)
+{
+    const auto groups = parseMixSpec(" m64X1 , g32x3 , e16x4 ");
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[1].geometry.dim, 32u);
+}
+
+TEST(MixParse, LaneSpec)
+{
+    const LanePartition lanes = parseLaneSpec("3,1,2");
+    EXPECT_EQ(lanes.mLanes, 3u);
+    EXPECT_EQ(lanes.gLanes, 1u);
+    EXPECT_EQ(lanes.eLanes, 2u);
+}
+
+TEST(MixParse, ConfigFromSpecValidates)
+{
+    const ProseConfig config = configFromSpec(
+        "M64x2,G16x10,E16x22", "3,1,2", LinkSpec::nvlink2At90());
+    EXPECT_EQ(config.totalPes(), 16384u);
+    EXPECT_EQ(config.name, "M64x2,G16x10,E16x22");
+}
+
+TEST(MixParseDeathTest, MalformedGroupIsFatal)
+{
+    EXPECT_EXIT(parseMixSpec("M64-2"), testing::ExitedWithCode(1),
+                "must look like");
+    EXPECT_EXIT(parseMixSpec("Q64x2,G16x1,E16x1"),
+                testing::ExitedWithCode(1), "unknown array type");
+    EXPECT_EXIT(parseMixSpec("M64x0,G16x1,E16x1"),
+                testing::ExitedWithCode(1), "zero count");
+    EXPECT_EXIT(parseMixSpec("M64xtwo"), testing::ExitedWithCode(1),
+                "not a number");
+    EXPECT_EXIT(parseMixSpec(""), testing::ExitedWithCode(1), "empty");
+}
+
+TEST(MixParseDeathTest, DuplicateTypeIsFatal)
+{
+    EXPECT_EXIT(parseMixSpec("M64x1,M64x1,G16x1,E16x1"),
+                testing::ExitedWithCode(1), "appears twice");
+}
+
+TEST(MixParseDeathTest, BadLaneSpecIsFatal)
+{
+    EXPECT_EXIT(parseLaneSpec("3,1"), testing::ExitedWithCode(1),
+                "three numbers");
+    EXPECT_EXIT(parseLaneSpec("3,0,3"), testing::ExitedWithCode(1),
+                "at least one lane");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,95 @@
+/** @file Tests for the analytic roofline (Figure 20, derived). */
+
+#include <gtest/gtest.h>
+
+#include "accel/roofline.hh"
+
+namespace prose {
+namespace {
+
+BertShape
+shape(std::uint64_t batch = 16)
+{
+    return BertShape{ 12, 768, 12, 3072, batch, 512 };
+}
+
+TEST(Roofline, PoolsCoverAllTypes)
+{
+    const RooflineAnalysis analysis =
+        analyzeRoofline(ProseConfig::bestPerf(), shape());
+    for (const PoolRoofline &pool : analysis.pools) {
+        EXPECT_GT(pool.computeSeconds, 0.0);
+        EXPECT_GT(pool.streamBytes, 0u);
+        EXPECT_GT(pool.laneShare, 0.0);
+    }
+}
+
+TEST(Roofline, LaneSharesSumToOne)
+{
+    const RooflineAnalysis analysis =
+        analyzeRoofline(ProseConfig::bestPerf(), shape());
+    double total = 0.0;
+    for (const PoolRoofline &pool : analysis.pools)
+        total += pool.laneShare;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Roofline, BoundingPoolHasLargestCompute)
+{
+    const RooflineAnalysis analysis =
+        analyzeRoofline(ProseConfig::bestPerf(), shape());
+    const PoolRoofline &bound = analysis.boundingPool();
+    for (const PoolRoofline &pool : analysis.pools)
+        EXPECT_LE(pool.computeSeconds, bound.computeSeconds);
+}
+
+TEST(Roofline, PredictsDesSaturation)
+{
+    // At twice the analytic saturation bandwidth, the DES makespan must
+    // be within a few percent of its infinite-bandwidth value; at a
+    // fifth of it, clearly slower.
+    const ProseConfig base = ProseConfig::bestPerf();
+    const RooflineAnalysis analysis = analyzeRoofline(base, shape());
+    const double knee = analysis.saturationBandwidth();
+    ASSERT_GT(knee, 0.0);
+
+    auto makespan_at = [&](double bytes_per_second) {
+        ProseConfig config = base;
+        config.link = LinkSpec::custom(bytes_per_second / 1e9);
+        return PerfSim(config).run(shape()).makespan;
+    };
+    ProseConfig infinite = base;
+    infinite.link = LinkSpec::infinite();
+    const double floor = PerfSim(infinite).run(shape()).makespan;
+
+    EXPECT_LT(makespan_at(2.0 * knee), floor * 1.10);
+    EXPECT_GT(makespan_at(0.2 * knee), floor * 1.25);
+}
+
+TEST(Roofline, ComputeTracksInfiniteBandwidthMakespan)
+{
+    // The bounding pool's compute time lower-bounds (and with good
+    // overlap approximates) the infinite-bandwidth makespan.
+    const ProseConfig base = ProseConfig::bestPerf();
+    const RooflineAnalysis analysis = analyzeRoofline(base, shape());
+    ProseConfig infinite = base;
+    infinite.link = LinkSpec::infinite();
+    const double makespan = PerfSim(infinite).run(shape()).makespan;
+    EXPECT_LT(analysis.boundingPool().computeSeconds, makespan * 1.02);
+    EXPECT_GT(analysis.boundingPool().computeSeconds, makespan * 0.3);
+}
+
+TEST(Roofline, MoreLanesLowerTheKnee)
+{
+    ProseConfig few = ProseConfig::bestPerf();
+    few.lanes = LanePartition{ 1, 1, 4 };
+    ProseConfig many = ProseConfig::bestPerf();
+    many.lanes = LanePartition{ 4, 1, 1 };
+    const auto a = analyzeRoofline(few, shape());
+    const auto b = analyzeRoofline(many, shape());
+    // The M pool's knee shrinks when it owns more lanes.
+    EXPECT_GT(a.pools[0].kneeBandwidth(), b.pools[0].kneeBandwidth());
+}
+
+} // namespace
+} // namespace prose

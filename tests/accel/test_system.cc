@@ -1,0 +1,105 @@
+/** @file Tests for the multi-instance (Grace-style) system model. */
+
+#include <gtest/gtest.h>
+
+#include "accel/system.hh"
+
+namespace prose {
+namespace {
+
+BertShape
+workload(std::uint64_t batch = 32)
+{
+    return BertShape{ 2, 768, 12, 3072, batch, 256 };
+}
+
+TEST(ProseSystem, DefaultIsFourInstances)
+{
+    // Section 3.2: four NVLinks, one ProSE instance each.
+    const ProseSystem system;
+    EXPECT_EQ(system.config().instanceCount, 4u);
+}
+
+TEST(ProseSystem, RunProducesAggregates)
+{
+    const ProseSystem system;
+    const SystemReport report = system.run(workload());
+    EXPECT_GT(report.makespan, 0.0);
+    EXPECT_EQ(report.inferences, 32u);
+    EXPECT_EQ(report.perInstance.size(), 4u);
+    EXPECT_GT(report.systemWatts, 10.0);
+    EXPECT_GT(report.inferencesPerSecond(), 0.0);
+    EXPECT_GT(report.efficiency(), 0.0);
+}
+
+TEST(ProseSystem, BatchShardsEvenly)
+{
+    const ProseSystem system;
+    const SystemReport report = system.run(workload(34));
+    std::uint64_t total = 0;
+    for (const auto &instance : report.perInstance)
+        total += instance.inferences;
+    EXPECT_EQ(total, 34u);
+}
+
+TEST(ProseSystem, MakespanIsSlowestInstance)
+{
+    const ProseSystem system;
+    const SystemReport report = system.run(workload());
+    double slowest = 0.0;
+    for (const auto &instance : report.perInstance)
+        slowest = std::max(slowest, instance.makespan);
+    EXPECT_DOUBLE_EQ(report.makespan, slowest);
+}
+
+TEST(ProseSystem, FourInstancesBeatOne)
+{
+    SystemConfig one;
+    one.instanceCount = 1;
+    SystemConfig four;
+    four.instanceCount = 4;
+    const SystemReport r1 = ProseSystem(one).run(workload(64));
+    const SystemReport r4 = ProseSystem(four).run(workload(64));
+    EXPECT_LT(r4.makespan, r1.makespan);
+    // Throughput scaling is sub-linear: the shared host CPU and the
+    // smaller per-instance batches take their cut.
+    EXPECT_GT(r1.makespan / r4.makespan, 1.5);
+    EXPECT_LT(r1.makespan / r4.makespan, 4.5);
+}
+
+TEST(ProseSystem, PowerScalesWithInstances)
+{
+    SystemConfig one;
+    one.instanceCount = 1;
+    SystemConfig four;
+    four.instanceCount = 4;
+    const SystemReport r1 = ProseSystem(one).run(workload(64));
+    const SystemReport r4 = ProseSystem(four).run(workload(64));
+    EXPECT_GT(r4.systemWatts, 2.0 * r1.systemWatts);
+}
+
+TEST(ProseSystem, SmallBatchUsesFewerInstances)
+{
+    const ProseSystem system;
+    const SystemReport report = system.run(workload(2));
+    EXPECT_EQ(report.perInstance.size(), 2u);
+    EXPECT_EQ(report.inferences, 2u);
+}
+
+TEST(ProseSystem, HostDutyBounded)
+{
+    const ProseSystem system;
+    const SystemReport report = system.run(workload());
+    EXPECT_GE(report.hostDuty, 0.0);
+    EXPECT_LE(report.hostDuty, 1.0);
+}
+
+TEST(ProseSystemDeathTest, ZeroInstancesRejected)
+{
+    SystemConfig config;
+    config.instanceCount = 0;
+    EXPECT_DEATH(ProseSystem{ config }, "at least one instance");
+}
+
+} // namespace
+} // namespace prose

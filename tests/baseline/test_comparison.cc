@@ -1,0 +1,75 @@
+/** @file Tests for the cross-platform comparison harness. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/comparison.hh"
+
+namespace prose {
+namespace {
+
+ComparisonReport
+compare(std::uint64_t batch = 8, std::uint64_t len = 256)
+{
+    return comparePlatforms(ProseConfig::bestPerf(),
+                            BertShape{ 12, 768, 12, 3072, batch, len });
+}
+
+TEST(Comparison, HasAllThreeBaselines)
+{
+    const ComparisonReport report = compare();
+    ASSERT_EQ(report.baselines.size(), 3u);
+    EXPECT_NO_FATAL_FAILURE(report.baseline("A100"));
+    EXPECT_NO_FATAL_FAILURE(report.baseline("TPUv2"));
+    EXPECT_NO_FATAL_FAILURE(report.baseline("TPUv3"));
+}
+
+TEST(Comparison, ProseRowIsSelfRelative)
+{
+    const ComparisonReport report = compare();
+    EXPECT_DOUBLE_EQ(report.prose.proseSpeedup, 1.0);
+    EXPECT_DOUBLE_EQ(report.prose.proseEfficiencyGain, 1.0);
+    EXPECT_GT(report.prose.watts, 10.0);
+    EXPECT_LT(report.prose.watts, 80.0);
+}
+
+TEST(Comparison, RatiosInternallyConsistent)
+{
+    const ComparisonReport report = compare();
+    for (const auto &row : report.baselines) {
+        EXPECT_NEAR(row.proseSpeedup,
+                    row.seconds / report.prose.seconds, 1e-9);
+        EXPECT_NEAR(row.proseEfficiencyGain,
+                    report.prose.efficiency / row.efficiency,
+                    row.proseEfficiencyGain * 1e-9);
+        EXPECT_NEAR(row.inferencesPerSecond * row.seconds,
+                    static_cast<double>(report.shape.batch), 1e-6);
+    }
+}
+
+TEST(Comparison, ProseWinsAtProteinLengths)
+{
+    const ComparisonReport report = compare(8, 512);
+    for (const auto &row : report.baselines) {
+        EXPECT_GT(row.proseSpeedup, 1.0) << row.name;
+        EXPECT_GT(row.proseEfficiencyGain, 10.0) << row.name;
+    }
+}
+
+TEST(Comparison, TpuV2IsTheWorstBaseline)
+{
+    const ComparisonReport report = compare(8, 512);
+    EXPECT_GT(report.baseline("TPUv2").proseEfficiencyGain,
+              report.baseline("TPUv3").proseEfficiencyGain);
+    EXPECT_GT(report.baseline("TPUv3").proseEfficiencyGain,
+              report.baseline("A100").proseEfficiencyGain);
+}
+
+TEST(ComparisonDeathTest, UnknownBaselineIsFatal)
+{
+    const ComparisonReport report = compare();
+    EXPECT_EXIT(report.baseline("H100"), testing::ExitedWithCode(1),
+                "no baseline");
+}
+
+} // namespace
+} // namespace prose

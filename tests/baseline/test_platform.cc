@@ -1,0 +1,134 @@
+/** @file Tests for the A100/TPU baseline roofline models. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/platform.hh"
+#include "trace/dataflow.hh"
+
+namespace prose {
+namespace {
+
+OpTrace
+paperTrace(std::uint64_t batch, std::uint64_t len)
+{
+    return synthesizeBertTrace(BertShape{ 12, 768, 12, 3072, batch, len });
+}
+
+TEST(Platform, NamesAndPower)
+{
+    EXPECT_EQ(makeA100()->name(), "A100");
+    EXPECT_EQ(makeTpuV2()->name(), "TPUv2");
+    EXPECT_EQ(makeTpuV3()->name(), "TPUv3");
+    // Paper power figures: A100 measured 395 W; TPUv2 = 4 x 280 W.
+    EXPECT_DOUBLE_EQ(makeA100()->watts(), 395.0);
+    EXPECT_DOUBLE_EQ(makeTpuV2()->watts(), 1120.0);
+    EXPECT_GT(makeTpuV3()->watts(), makeTpuV2()->watts());
+}
+
+TEST(Platform, TraceCostPositiveAndDecomposed)
+{
+    const auto a100 = makeA100();
+    const PlatformResult result = a100->costTrace(paperTrace(8, 512));
+    EXPECT_GT(result.totalSeconds, 0.0);
+    EXPECT_GT(result.acceleratedSeconds, 0.0);
+    EXPECT_LT(result.acceleratedSeconds, result.totalSeconds);
+    double sum = 0.0;
+    for (const auto &[category, seconds] : result.categorySeconds)
+        sum += seconds;
+    EXPECT_NEAR(sum, result.totalSeconds, 1e-9);
+}
+
+TEST(Platform, MatmulShareFallsWithLength)
+{
+    // Figure 3: matmul % decreases as input length grows while softmax
+    // and elementwise shares grow.
+    const auto a100 = makeA100();
+    const auto short_frac =
+        a100->costTrace(paperTrace(64, 64)).categoryFractions();
+    const auto long_frac =
+        a100->costTrace(paperTrace(4, 1024)).categoryFractions();
+    EXPECT_GT(short_frac.at(OpCategory::MatMul),
+              long_frac.at(OpCategory::MatMul));
+    EXPECT_LT(short_frac.at(OpCategory::Softmax),
+              long_frac.at(OpCategory::Softmax));
+}
+
+TEST(Platform, MatmulsDominateAtAllLengths)
+{
+    // Figure 3: matmul + BMM stay 35-52% of runtime across lengths.
+    const auto a100 = makeA100();
+    for (std::uint64_t len : { 64u, 256u, 512u, 1024u }) {
+        const auto fractions =
+            a100->costTrace(paperTrace(4, len)).categoryFractions();
+        const double mm = fractions.at(OpCategory::MatMul) +
+                          fractions.at(OpCategory::BatchedMatMul);
+        EXPECT_GT(mm, 0.25) << "len=" << len;
+        EXPECT_LT(mm, 0.70) << "len=" << len;
+    }
+}
+
+TEST(Platform, EfficiencyCollapsesWithLength)
+{
+    // Figure 1: inferences/s/W falls steeply as length grows.
+    const auto a100 = makeA100();
+    auto eff = [&](std::uint64_t len, std::uint64_t batch) {
+        const PlatformResult r = a100->costTrace(paperTrace(batch, len));
+        const double inf_per_s = batch / r.totalSeconds;
+        return inf_per_s / a100->watts();
+    };
+    EXPECT_GT(eff(32, 64), 10.0 * eff(512, 8));
+}
+
+TEST(Platform, A100AroundOneInferencePerSecondPerWattAt512)
+{
+    // Figure 1 footnote: at 512 tokens the A100 sits near/below
+    // 1 inf/s/W.
+    const auto a100 = makeA100();
+    const PlatformResult r = a100->costTrace(paperTrace(16, 512));
+    const double eff = (16.0 / r.totalSeconds) / a100->watts();
+    EXPECT_LT(eff, 1.0);
+    EXPECT_GT(eff, 0.05);
+}
+
+TEST(Platform, TpuV3FasterThanTpuV2)
+{
+    const OpTrace trace = paperTrace(8, 512);
+    EXPECT_LT(makeTpuV3()->costTrace(trace).totalSeconds,
+              makeTpuV2()->costTrace(trace).totalSeconds);
+}
+
+TEST(Platform, TpusPayHeavyGeluPenalty)
+{
+    // No GELU unit on the TPU: a 10+ MulAdd approximation chain
+    // (Section 3.2) makes GELU's share much larger than on the GPU.
+    const OpTrace trace = paperTrace(8, 512);
+    const auto gpu = makeA100()->costTrace(trace).categoryFractions();
+    const auto tpu = makeTpuV3()->costTrace(trace).categoryFractions();
+    EXPECT_GT(tpu.at(OpCategory::Gelu), 2.0 * gpu.at(OpCategory::Gelu));
+}
+
+TEST(Platform, OpSecondsMonotoneInSize)
+{
+    const auto a100 = makeA100();
+    Op small;
+    small.kind = OpKind::MatMul;
+    small.m = 128;
+    small.k = 768;
+    small.n = 768;
+    Op big = small;
+    big.m = 1024;
+    EXPECT_GT(a100->opSeconds(big), a100->opSeconds(small));
+}
+
+TEST(Platform, OverheadDominatesTinyOps)
+{
+    const auto a100 = makeA100();
+    Op tiny;
+    tiny.kind = OpKind::MulAdd;
+    tiny.m = 1;
+    tiny.n = 1;
+    EXPECT_GE(a100->opSeconds(tiny), 8e-6);
+}
+
+} // namespace
+} // namespace prose

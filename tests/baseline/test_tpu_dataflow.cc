@@ -1,0 +1,94 @@
+/** @file Tests for the Figure 11/12 global-vs-local dataflow counts. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/tpu_dataflow.hh"
+
+namespace prose {
+namespace {
+
+TEST(TpuDataflow, MatMulProseNeedsNoIntermediateStorage)
+{
+    const DataflowTrip tpu = tpuMatMulTrip(256, 768, 768);
+    const DataflowTrip prose = proseMatMulTrip(256, 768, 768, 64);
+    EXPECT_GT(tpu.unifiedBufferBytes, 0u);
+    EXPECT_EQ(prose.unifiedBufferBytes, 0u);
+    EXPECT_GT(tpu.weightBytes, 0u);
+    EXPECT_EQ(prose.weightBytes, 0u);
+}
+
+TEST(TpuDataflow, MatMulProseIsOneLocalTrip)
+{
+    const DataflowTrip prose = proseMatMulTrip(256, 768, 768, 64);
+    EXPECT_EQ(prose.trips, 1u);
+    // TPU accumulates across ceil(768/128) = 6 k-tiles through the UB.
+    EXPECT_EQ(tpuMatMulTrip(256, 768, 768).trips, 6u);
+}
+
+TEST(TpuDataflow, PaperToyExampleStepCounts)
+{
+    // Figure 11's toy: 4x4 matrices on a 2x2 array. TPU: 8 ops for
+    // step 1, repeating 4-8 thereafter; ProSE: 4 ops per step.
+    const DataflowTrip prose = proseMatMulTrip(4, 4, 4, 2);
+    EXPECT_EQ(prose.steps, 4u * 4u); // 4 output tiles x 4 ops
+    const DataflowTrip tpu = tpuMatMulTrip(4, 4, 4, 2);
+    EXPECT_GT(tpu.steps, prose.steps);
+}
+
+TEST(TpuDataflow, MulAddTripCounts)
+{
+    // Figure 12: TPU needs two-to-three global trips; ProSE one local.
+    const DataflowTrip tpu = tpuMulAddTrip(512, 768);
+    const DataflowTrip prose = proseMulAddTrip(512, 768, 64);
+    EXPECT_EQ(tpu.trips, 3u);
+    EXPECT_EQ(prose.trips, 1u);
+    EXPECT_GT(tpu.unifiedBufferBytes, 0u);
+    EXPECT_EQ(prose.unifiedBufferBytes, 0u);
+}
+
+TEST(TpuDataflow, MulAddHostTrafficComparable)
+{
+    // Both stream A, B in and C out; the difference is the UB churn.
+    const DataflowTrip tpu = tpuMulAddTrip(512, 768);
+    const DataflowTrip prose = proseMulAddTrip(512, 768, 64);
+    EXPECT_EQ(prose.hostStreamBytes, 3u * 512 * 768 * 2);
+    EXPECT_EQ(tpu.hostStreamBytes, prose.hostStreamBytes);
+}
+
+TEST(TpuDataflow, MovementEnergyFavorsProse)
+{
+    // The Figure 19 story: eliminating the Unified Buffer removes the
+    // dominant data-movement energy for elementwise sequences.
+    const DataflowTrip tpu = tpuMulAddTrip(65536, 768);
+    const DataflowTrip prose = proseMulAddTrip(65536, 768, 64);
+    EXPECT_GT(tpu.movementEnergyJoules(),
+              1.5 * prose.movementEnergyJoules());
+}
+
+TEST(TpuDataflow, PartialBufferCutsProseTraffic)
+{
+    const DataflowTrip with_buffer =
+        proseMatMulTrip(65536, 768, 768, 64, true);
+    const DataflowTrip without =
+        proseMatMulTrip(65536, 768, 768, 64, false);
+    // B restreams once per tile row (1024 rows at m=65536) without the
+    // buffer: ~7x the stream-once traffic at these shapes.
+    EXPECT_GT(without.hostStreamBytes, 5 * with_buffer.hostStreamBytes);
+}
+
+TEST(TpuDataflow, UbTrafficGrowsWithKTiles)
+{
+    // More k accumulation passes = more partial round trips.
+    const DataflowTrip shallow = tpuMatMulTrip(512, 128, 512);
+    const DataflowTrip deep = tpuMatMulTrip(512, 1024, 512);
+    EXPECT_GT(deep.unifiedBufferBytes, 4 * shallow.unifiedBufferBytes);
+}
+
+TEST(TpuDataflowDeathTest, EmptyShapesPanic)
+{
+    EXPECT_DEATH(tpuMatMulTrip(0, 4, 4), "empty");
+    EXPECT_DEATH(proseMulAddTrip(4, 0, 2), "empty");
+}
+
+} // namespace
+} // namespace prose

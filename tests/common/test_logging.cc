@@ -1,0 +1,70 @@
+/** @file Tests for the logging helpers (non-fatal paths + death tests). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace prose {
+namespace {
+
+TEST(Logging, ConcatJoinsHeterogeneousArgs)
+{
+    EXPECT_EQ(detail::concat("x=", 3, " y=", 2.5), "x=3 y=2.5");
+}
+
+TEST(Logging, ConcatEmpty)
+{
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Logging, InformAndWarnDoNotTerminate)
+{
+    inform("informational message from tests");
+    warn("warning message from tests");
+    SUCCEED();
+}
+
+TEST(Logging, QuietSuppressesInform)
+{
+    testing::internal::CaptureStderr();
+    setQuiet(true);
+    inform("should be suppressed");
+    setQuiet(false);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("suppressed"), std::string::npos);
+}
+
+TEST(Logging, WarnStillPrintsWhenQuiet)
+{
+    testing::internal::CaptureStderr();
+    setQuiet(true);
+    warn("warn-under-quiet");
+    setQuiet(false);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn-under-quiet"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom"), "boom");
+}
+
+TEST(LoggingDeathTest, AssertMacroAborts)
+{
+    EXPECT_DEATH(PROSE_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+TEST(LoggingDeathTest, AssertMacroPassesThrough)
+{
+    PROSE_ASSERT(1 == 1, "never shown");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,148 @@
+/** @file Tests for the deterministic Xoshiro256ss generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace prose {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaledMoments)
+{
+    Rng rng(17);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesMultiset)
+{
+    Rng rng(21);
+    std::vector<int> v{ 1, 2, 3, 4, 5, 6, 7, 8 };
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes)
+{
+    Rng rng(23);
+    std::vector<int> v(64);
+    for (int i = 0; i < 64; ++i)
+        v[i] = i;
+    auto original = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, original);
+}
+
+TEST(Rng, ForkDivergesFromParent)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,70 @@
+/** @file Tests for string utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/strutil.hh"
+
+namespace prose {
+namespace {
+
+TEST(Strutil, SplitBasic)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strutil, SplitKeepsEmptyFields)
+{
+    const auto parts = split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strutil, SplitNoSeparator)
+{
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strutil, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  hello\t\n"), "hello");
+}
+
+TEST(Strutil, TrimAllWhitespace)
+{
+    EXPECT_EQ(trim(" \t \n"), "");
+}
+
+TEST(Strutil, TrimNoop)
+{
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strutil, ToUpper)
+{
+    EXPECT_EQ(toUpper("AcDef123"), "ACDEF123");
+}
+
+TEST(Strutil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("prose-config", "prose"));
+    EXPECT_FALSE(startsWith("prose", "prose-config"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Strutil, Join)
+{
+    EXPECT_EQ(join({ "a", "b", "c" }, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({ "only" }, ", "), "only");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,122 @@
+/** @file Tests for the DSE engine: evaluation, lane sweep, Pareto. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dse/dse_engine.hh"
+
+namespace prose {
+namespace {
+
+/** A small workload so DSE tests stay fast. */
+DseWorkload
+testWorkload()
+{
+    DseWorkload workload;
+    workload.shape = BertShape{ 2, 768, 12, 3072, 8, 256 };
+    return workload;
+}
+
+TEST(Pareto, SimpleFront)
+{
+    // Points: (1,5) (2,2) (3,1) (3,3) (4,4). Dominated: (3,3), (4,4).
+    const auto front = paretoFront({ 1, 2, 3, 3, 4 }, { 5, 2, 1, 3, 4 });
+    EXPECT_EQ(front, (std::vector<std::size_t>{ 0, 1, 2 }));
+}
+
+TEST(Pareto, AllIncomparableSurvive)
+{
+    const auto front = paretoFront({ 1, 2, 3 }, { 3, 2, 1 });
+    EXPECT_EQ(front.size(), 3u);
+}
+
+TEST(Pareto, DuplicatesBothSurvive)
+{
+    const auto front = paretoFront({ 1, 1 }, { 2, 2 });
+    EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(DseEngine, A100NormalizerIsPositive)
+{
+    const DseEngine engine(testWorkload());
+    EXPECT_GT(engine.a100Seconds(), 0.0);
+}
+
+TEST(DseEngine, EvaluateFillsAllFields)
+{
+    const DseEngine engine(testWorkload());
+    const DsePoint point = engine.evaluate(ProseConfig::bestPerf());
+    EXPECT_GT(point.runtimeSeconds, 0.0);
+    EXPECT_GT(point.runtimeVsA100, 0.0);
+    EXPECT_GT(point.powerWatts, 5.0);
+    EXPECT_LT(point.powerWatts, 30.0);
+    EXPECT_GT(point.areaMm2, 5.0);
+    EXPECT_GT(point.inferencesPerSecond, 0.0);
+}
+
+TEST(DseEngine, LaneSweepAtLeastAsGoodAsDefault)
+{
+    const DseEngine engine(testWorkload());
+    const ProseConfig mix = ProseConfig::bestPerf();
+    const DsePoint fixed = engine.evaluate(mix);
+    const DsePoint swept = engine.evaluateBestLanes(mix);
+    EXPECT_LE(swept.runtimeSeconds, fixed.runtimeSeconds * 1.0001);
+}
+
+TEST(DseEngine, ExploreSelectsConsistentIndices)
+{
+    ConfigSpaceSpec spec;
+    spec.peBudget = 16384;
+    const DseEngine engine(testWorkload());
+    const DseSelection selection = engine.explore(spec);
+    ASSERT_FALSE(selection.points.empty());
+
+    // BestPerf really is the fastest point.
+    for (const auto &point : selection.points)
+        EXPECT_GE(point.runtimeSeconds,
+                  selection.points[selection.bestPerf].runtimeSeconds);
+
+    // Pareto indices are valid and include the selections.
+    auto contains = [](const std::vector<std::size_t> &v,
+                       std::size_t x) {
+        return std::find(v.begin(), v.end(), x) != v.end();
+    };
+    EXPECT_TRUE(
+        contains(selection.powerPareto, selection.mostPowerEfficient));
+    EXPECT_TRUE(
+        contains(selection.areaPareto, selection.mostAreaEfficient));
+    // The fastest point is on both fronts by construction.
+    EXPECT_TRUE(contains(selection.powerPareto, selection.bestPerf));
+    EXPECT_TRUE(contains(selection.areaPareto, selection.bestPerf));
+}
+
+TEST(DseEngine, ParetoPointsAreUndominated)
+{
+    ConfigSpaceSpec spec;
+    const DseEngine engine(testWorkload());
+    const DseSelection selection = engine.explore(spec);
+    for (std::size_t idx : selection.powerPareto) {
+        for (const auto &other : selection.points) {
+            const auto &point = selection.points[idx];
+            const bool dominates =
+                other.runtimeSeconds <= point.runtimeSeconds &&
+                other.powerWatts <= point.powerWatts &&
+                (other.runtimeSeconds < point.runtimeSeconds ||
+                 other.powerWatts < point.powerWatts);
+            EXPECT_FALSE(dominates);
+        }
+    }
+}
+
+TEST(DseEngineDeathTest, ImpossibleBudgetPanics)
+{
+    // 4096 PEs cannot fit one M-Type 64x64 plus G and E arrays.
+    ConfigSpaceSpec spec;
+    spec.peBudget = 4096;
+    const DseEngine engine(testWorkload());
+    EXPECT_DEATH(engine.explore(spec), "empty configuration space");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,177 @@
+/** @file Paper-shape assertions: the qualitative claims of the
+ *  evaluation section must hold in our reproduction. */
+
+#include <gtest/gtest.h>
+
+#include "accel/perf_sim.hh"
+#include "baseline/platform.hh"
+#include "power/power_model.hh"
+
+namespace prose {
+namespace {
+
+/** The paper's operating point scaled to a test-affordable batch. */
+BertShape
+operatingPoint(std::uint64_t batch = 16)
+{
+    return BertShape{ 12, 768, 12, 3072, batch, 512 };
+}
+
+double
+proseSeconds(const ProseConfig &config, const BertShape &shape)
+{
+    return PerfSim(config).run(shape).makespan;
+}
+
+TEST(PaperClaims, ProseBeatsA100AtTheOperatingPoint)
+{
+    // Figure 18: BestPerf achieves 3.9-4.7x over one A100 with NVLink
+    // 2.0; we assert the shape (a healthy >2x win) rather than the
+    // absolute calibration.
+    const BertShape shape = operatingPoint();
+    const double prose = proseSeconds(ProseConfig::bestPerf(), shape);
+    const double a100 =
+        makeA100()->costTrace(synthesizeBertTrace(shape))
+            .acceleratedSeconds;
+    EXPECT_GT(a100 / prose, 2.0);
+    EXPECT_LT(a100 / prose, 12.0);
+}
+
+TEST(PaperClaims, ProseBeatsTpuV3)
+{
+    // Figure 18 right: 3.1-3.8x over TPUv3 at NVLink 2.0 bandwidths.
+    const BertShape shape = operatingPoint();
+    const double prose = proseSeconds(ProseConfig::bestPerf(), shape);
+    const double tpu =
+        makeTpuV3()->costTrace(synthesizeBertTrace(shape))
+            .acceleratedSeconds;
+    EXPECT_GT(tpu / prose, 1.5);
+    EXPECT_LT(tpu / prose, 12.0);
+}
+
+TEST(PaperClaims, PowerEfficiencyGapIsOrdersOfMagnitude)
+{
+    // Figure 19 / Figure 1: one to two orders of magnitude better
+    // inferences/s/W than the A100, two-plus over TPUs.
+    const BertShape shape = operatingPoint();
+    const SimReport report = PerfSim(ProseConfig::bestPerf()).run(shape);
+    const PowerModel power;
+    const double prose_watts = power.systemPowerWatts(
+        ProseConfig::bestPerf().groups, true, report.cpuDuty);
+    const double prose_eff =
+        report.inferencesPerSecond() / prose_watts;
+
+    const auto a100 = makeA100();
+    const PlatformResult a100_result =
+        a100->costTrace(synthesizeBertTrace(shape));
+    const double a100_eff =
+        (shape.batch / a100_result.acceleratedSeconds) / a100->watts();
+
+    const auto tpu3 = makeTpuV3();
+    const PlatformResult tpu_result =
+        tpu3->costTrace(synthesizeBertTrace(shape));
+    const double tpu_eff =
+        (shape.batch / tpu_result.acceleratedSeconds) / tpu3->watts();
+
+    EXPECT_GT(prose_eff / a100_eff, 10.0);  // paper: up to 48x
+    EXPECT_GT(prose_eff / tpu_eff, 50.0);   // paper: up to 173x
+}
+
+TEST(PaperClaims, HeterogeneousAdvantageGrowsWithLength)
+{
+    // Figure 4: heterogeneous and homogeneous are close at short
+    // lengths; the gap opens past ~300 tokens.
+    auto ratio_at = [&](std::uint64_t len) {
+        const BertShape shape{ 12, 768, 12, 3072, 8, len };
+        const double hetero =
+            proseSeconds(ProseConfig::bestPerf(), shape);
+        const double homo =
+            proseSeconds(ProseConfig::fourBy64Homogeneous(), shape);
+        return homo / hetero;
+    };
+    const double short_gap = ratio_at(64);
+    const double long_gap = ratio_at(1024);
+    EXPECT_GT(long_gap, short_gap);
+    EXPECT_GT(long_gap, 1.1);
+}
+
+TEST(PaperClaims, RuntimeGrowsSuperlinearlyWithLength)
+{
+    // Section 2.1: compute grows quadratically in length for the
+    // attention ops; end-to-end runtime at fixed token *budget* still
+    // rises with length.
+    const std::uint64_t tokens = 8 * 512;
+    auto seconds_at = [&](std::uint64_t len) {
+        const BertShape shape{ 12, 768, 12, 3072, tokens / len, len };
+        return proseSeconds(ProseConfig::bestPerf(), shape);
+    };
+    EXPECT_GT(seconds_at(2048), seconds_at(256) * 1.3);
+}
+
+TEST(PaperClaims, BandwidthSweepPlateaus)
+{
+    // Figure 20: performance rises with bandwidth then saturates as
+    // the design becomes compute-bound.
+    const BertShape shape = operatingPoint(8);
+    std::vector<double> throughput;
+    for (double gbps : { 45.0, 135.0, 270.0, 540.0, 100000.0 }) {
+        ProseConfig config = ProseConfig::bestPerf();
+        config.link = LinkSpec::custom(gbps);
+        throughput.push_back(1.0 / proseSeconds(config, shape));
+    }
+    // Monotone non-decreasing...
+    for (std::size_t i = 1; i < throughput.size(); ++i)
+        EXPECT_GE(throughput[i], throughput[i - 1] * 0.999);
+    // ...with early gains large and late gains small (saturation).
+    const double early_gain = throughput[2] / throughput[0];
+    const double late_gain = throughput[4] / throughput[3];
+    EXPECT_GT(early_gain, 1.3);
+    EXPECT_LT(late_gain, 1.3);
+}
+
+TEST(PaperClaims, HomogeneousStarvedOfSimdThroughput)
+{
+    // Section 4.3: homogeneous designs lack SIMD ALUs / special
+    // function throughput (fewer, larger arrays -> fewer SIMD columns),
+    // so even infinite bandwidth does not save them.
+    BertShape shape = operatingPoint(8);
+    shape.seqLen = 1024; // past the Figure 4 crossover
+    ProseConfig homo = ProseConfig::homogeneous();
+    homo.link = LinkSpec::infinite();
+    ProseConfig hetero = ProseConfig::bestPerf();
+    hetero.link = LinkSpec::infinite();
+    EXPECT_LT(proseSeconds(hetero, shape), proseSeconds(homo, shape));
+}
+
+TEST(PaperClaims, ThreadScalingShapeOfFigure8)
+{
+    // 1 -> 2 -> 4 -> 32 threads: throughput improves, with diminishing
+    // returns as contention rises.
+    const BertShape shape = operatingPoint(32);
+    std::vector<double> makespans;
+    for (std::uint32_t threads : { 1u, 2u, 4u, 32u }) {
+        ProseConfig config = ProseConfig::bestPerf();
+        config.threads = threads;
+        makespans.push_back(proseSeconds(config, shape));
+    }
+    EXPECT_LT(makespans[1], makespans[0]);
+    EXPECT_LT(makespans[2], makespans[1]);
+    EXPECT_LE(makespans[3], makespans[2] * 1.001);
+}
+
+TEST(PaperClaims, ProseArraysAreTinyNextToA100)
+{
+    // Table 2's rightmost columns: each array is well under 1% of an
+    // A100's power and area; even a full instance stays in single
+    // percents.
+    const PowerModel power;
+    const double watts =
+        power.arrayPowerWatts(ProseConfig::bestPerf().groups, true);
+    const double mm2 =
+        power.arrayAreaMm2(ProseConfig::bestPerf().groups, true);
+    EXPECT_LT(watts / kA100PowerWatts, 0.05);
+    EXPECT_LT(mm2 / kA100AreaMm2, 0.02);
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,55 @@
+/** @file Tests for BertConfig presets and invariants. */
+
+#include <gtest/gtest.h>
+
+#include "model/bert_config.hh"
+
+namespace prose {
+namespace {
+
+TEST(BertConfig, ProteinBertBaseMatchesPaperShape)
+{
+    const BertConfig config = BertConfig::proteinBertBase();
+    EXPECT_EQ(config.hidden, 768u);
+    EXPECT_EQ(config.layers, 12u);
+    EXPECT_EQ(config.heads, 12u);
+    EXPECT_EQ(config.intermediate, 3072u);
+    EXPECT_EQ(config.headDim(), 64u);
+    EXPECT_GE(config.maxSeqLen, 2048u); // protein lengths reach 2000+
+    config.validate();
+}
+
+TEST(BertConfig, TinyKeepsStructure)
+{
+    const BertConfig config = BertConfig::tiny();
+    EXPECT_EQ(config.hidden % config.heads, 0u);
+    EXPECT_EQ(config.intermediate, 4 * config.hidden);
+    config.validate();
+}
+
+TEST(BertConfig, ShapeViewCarriesDims)
+{
+    const BertConfig config = BertConfig::proteinBertBase();
+    const BertShape shape = config.shape(128, 512);
+    EXPECT_EQ(shape.batch, 128u);
+    EXPECT_EQ(shape.seqLen, 512u);
+    EXPECT_EQ(shape.hidden, 768u);
+    EXPECT_EQ(shape.layers, 12u);
+    EXPECT_EQ(shape.intermediate, 3072u);
+}
+
+TEST(BertConfigDeathTest, HeadsMustDivideHidden)
+{
+    BertConfig config = BertConfig::tiny();
+    config.heads = 3;
+    EXPECT_DEATH(config.validate(), "divide");
+}
+
+TEST(BertConfigDeathTest, OverlongSequenceRejected)
+{
+    const BertConfig config = BertConfig::tiny();
+    EXPECT_DEATH(config.shape(1, config.maxSeqLen + 1), "maxSeqLen");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,119 @@
+/** @file Tests for the binary weights checkpoint format. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/bert_model.hh"
+#include "model/tokenizer.hh"
+#include "model/weights_io.hh"
+
+namespace prose {
+namespace {
+
+TEST(WeightsIo, RoundTripBitExact)
+{
+    const BertConfig config = BertConfig::tiny();
+    const BertWeights original = BertWeights::initialize(config, 77);
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeWeights(stream, config, original);
+    const BertWeights loaded = readWeights(stream, config);
+
+    EXPECT_EQ(Matrix::maxAbsDiff(loaded.tokenEmbedding,
+                                 original.tokenEmbedding),
+              0.0f);
+    EXPECT_EQ(Matrix::maxAbsDiff(loaded.poolerW, original.poolerW),
+              0.0f);
+    ASSERT_EQ(loaded.layers.size(), original.layers.size());
+    for (std::size_t l = 0; l < loaded.layers.size(); ++l) {
+        EXPECT_EQ(Matrix::maxAbsDiff(loaded.layers[l].wq,
+                                     original.layers[l].wq),
+                  0.0f);
+        EXPECT_EQ(Matrix::maxAbsDiff(loaded.layers[l].w2,
+                                     original.layers[l].w2),
+                  0.0f);
+        EXPECT_EQ(loaded.layers[l].b1, original.layers[l].b1);
+        EXPECT_EQ(loaded.layers[l].lnOutGamma,
+                  original.layers[l].lnOutGamma);
+    }
+    EXPECT_EQ(loaded.parameterCount(), original.parameterCount());
+}
+
+TEST(WeightsIo, LoadedModelComputesIdenticalOutputs)
+{
+    const BertConfig config = BertConfig::tiny();
+    const BertModel original(config, 99);
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeWeights(stream, config, original.weights());
+    const BertModel restored(config, readWeights(stream, config));
+
+    AminoTokenizer tok;
+    const auto batch = std::vector<std::vector<std::uint32_t>>{
+        tok.encode("MEYQACDWKL", 16)
+    };
+    const Matrix a = original.forward(batch).hidden;
+    const Matrix b = restored.forward(batch).hidden;
+    EXPECT_EQ(Matrix::maxAbsDiff(a, b), 0.0f);
+}
+
+TEST(WeightsIo, FileRoundTrip)
+{
+    const BertConfig config = BertConfig::tiny();
+    const BertWeights original = BertWeights::initialize(config, 5);
+    const std::string path =
+        testing::TempDir() + "/prose_weights_test.bin";
+    writeWeightsFile(path, config, original);
+    const BertWeights loaded = readWeightsFile(path, config);
+    EXPECT_EQ(Matrix::maxAbsDiff(loaded.layers[0].wo,
+                                 original.layers[0].wo),
+              0.0f);
+}
+
+TEST(WeightsIoDeathTest, GarbageMagicIsFatal)
+{
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    stream << "NOPE garbage";
+    EXPECT_EXIT(readWeights(stream, BertConfig::tiny()),
+                testing::ExitedWithCode(1), "not a ProSE");
+}
+
+TEST(WeightsIoDeathTest, DimensionMismatchIsFatal)
+{
+    const BertConfig config = BertConfig::tiny();
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeWeights(stream, config, BertWeights::initialize(config, 1));
+
+    BertConfig other = config;
+    other.hidden *= 2;
+    other.intermediate *= 2;
+    EXPECT_EXIT(readWeights(stream, other), testing::ExitedWithCode(1),
+                "does not match");
+}
+
+TEST(WeightsIoDeathTest, TruncatedStreamIsFatal)
+{
+    const BertConfig config = BertConfig::tiny();
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeWeights(stream, config, BertWeights::initialize(config, 1));
+    // Chop off the tail.
+    std::string data = stream.str();
+    data.resize(data.size() / 2);
+    std::stringstream chopped(data, std::ios::in | std::ios::binary);
+    EXPECT_EXIT(readWeights(chopped, config),
+                testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(WeightsIoDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readWeightsFile("/no/such/weights.bin",
+                                BertConfig::tiny()),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,81 @@
+/** @file Tests for reference activation functions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/activations.hh"
+
+namespace prose {
+namespace {
+
+TEST(Activations, GeluTanhAtZero)
+{
+    EXPECT_FLOAT_EQ(geluTanh(0.0f), 0.0f);
+}
+
+TEST(Activations, GeluTanhKnownPoint)
+{
+    // GELU(1) ~ 0.8412 (tanh approximation ~ 0.84119).
+    EXPECT_NEAR(geluTanh(1.0f), 0.84119f, 1e-4);
+    EXPECT_NEAR(geluTanh(-1.0f), -0.15881f, 1e-4);
+}
+
+TEST(Activations, GeluTanhAsymptotes)
+{
+    EXPECT_NEAR(geluTanh(10.0f), 10.0f, 1e-4);
+    EXPECT_NEAR(geluTanh(-10.0f), 0.0f, 1e-4);
+}
+
+TEST(Activations, GeluTanhCloseToErfForm)
+{
+    for (float x = -6.0f; x <= 6.0f; x += 0.01f)
+        EXPECT_NEAR(geluTanh(x), geluErf(x), 4e-3) << "x=" << x;
+}
+
+TEST(Activations, GeluErfMatchesDefinition)
+{
+    for (float x : { -2.0f, -0.5f, 0.3f, 1.7f }) {
+        const float phi = 0.5f * (1.0f + std::erf(x / std::sqrt(2.0f)));
+        EXPECT_NEAR(geluErf(x), x * phi, 1e-6);
+    }
+}
+
+TEST(Activations, GeluMonotoneAboveMinimum)
+{
+    // GELU is monotonically increasing for x > ~-0.75.
+    float prev = geluTanh(-0.7f);
+    for (float x = -0.69f; x <= 5.0f; x += 0.01f) {
+        const float cur = geluTanh(x);
+        EXPECT_GE(cur, prev - 1e-6f);
+        prev = cur;
+    }
+}
+
+TEST(Activations, ExpRefMatchesStd)
+{
+    for (float x : { -5.0f, -1.0f, 0.0f, 1.0f, 3.0f })
+        EXPECT_FLOAT_EQ(expRef(x), std::exp(x));
+}
+
+TEST(Activations, SigmoidRangeAndSymmetry)
+{
+    EXPECT_FLOAT_EQ(sigmoid(0.0f), 0.5f);
+    // Beyond |x| ~ 17 the float result rounds to exactly 1, so the
+    // strict bound is only meaningful in the interior.
+    for (float x = -16.0f; x <= 16.0f; x += 0.5f) {
+        const float s = sigmoid(x);
+        EXPECT_GT(s, 0.0f);
+        EXPECT_LT(s, 1.0f);
+        EXPECT_NEAR(s + sigmoid(-x), 1.0f, 1e-6);
+    }
+}
+
+TEST(Activations, SigmoidStableAtExtremes)
+{
+    EXPECT_NEAR(sigmoid(100.0f), 1.0f, 1e-6);
+    EXPECT_NEAR(sigmoid(-100.0f), 0.0f, 1e-6);
+}
+
+} // namespace
+} // namespace prose

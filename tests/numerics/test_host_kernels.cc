@@ -1,0 +1,127 @@
+/** @file Tests for the real host-side kernels (softmax divide, layer
+ *  norm) including their row-parallel execution. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/random.hh"
+#include "numerics/bfloat16.hh"
+#include "numerics/host_kernels.hh"
+
+namespace prose {
+namespace {
+
+Matrix
+positiveMatrix(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            m(i, j) = static_cast<float>(rng.uniform(0.01, 3.0));
+    return m;
+}
+
+TEST(HostKernels, SoftmaxRowsSumToOne)
+{
+    Rng rng(1);
+    Matrix exp_values = positiveMatrix(rng, 12, 33);
+    hostSoftmaxDivide(exp_values);
+    for (std::size_t i = 0; i < exp_values.rows(); ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < exp_values.cols(); ++j)
+            sum += exp_values(i, j);
+        EXPECT_NEAR(sum, 1.0, 0.02); // bf16 re-quantization slack
+    }
+}
+
+TEST(HostKernels, SoftmaxResultsAreBf16)
+{
+    Rng rng(2);
+    Matrix exp_values = positiveMatrix(rng, 4, 16);
+    hostSoftmaxDivide(exp_values);
+    for (std::size_t i = 0; i < exp_values.rows(); ++i)
+        for (std::size_t j = 0; j < exp_values.cols(); ++j)
+            EXPECT_EQ(exp_values(i, j), quantizeBf16(exp_values(i, j)));
+}
+
+TEST(HostKernels, SoftmaxParallelMatchesSerial)
+{
+    Rng rng(3);
+    const Matrix original = positiveMatrix(rng, 64, 40);
+    Matrix serial = original;
+    Matrix parallel = original;
+    hostSoftmaxDivide(serial, 1);
+    hostSoftmaxDivide(parallel, 8);
+    EXPECT_EQ(Matrix::maxAbsDiff(serial, parallel), 0.0f);
+}
+
+TEST(HostKernels, LayerNormMatchesReference)
+{
+    Rng rng(4);
+    Matrix activations(10, 48);
+    activations.fillGaussian(rng, 0.5f, 2.0f);
+    std::vector<float> gamma(48), beta(48);
+    for (std::size_t j = 0; j < 48; ++j) {
+        gamma[j] = static_cast<float>(rng.uniform(0.5, 1.5));
+        beta[j] = static_cast<float>(rng.gaussian());
+    }
+
+    const Matrix reference =
+        layerNorm(activations, gamma, beta, 1e-12f);
+    Matrix in_place = activations;
+    hostLayerNorm(in_place, gamma, beta, 1e-12f, 4);
+    // The host kernel re-quantizes to bf16; compare at that resolution.
+    for (std::size_t i = 0; i < in_place.rows(); ++i)
+        for (std::size_t j = 0; j < in_place.cols(); ++j)
+            EXPECT_NEAR(in_place(i, j), reference(i, j),
+                        std::fabs(reference(i, j)) / 128.0f + 1e-3f);
+}
+
+TEST(HostKernels, LayerNormParallelMatchesSerial)
+{
+    Rng rng(5);
+    Matrix a(40, 32);
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    std::vector<float> gamma(32, 1.0f), beta(32, 0.0f);
+    Matrix serial = a, parallel = a;
+    hostLayerNorm(serial, gamma, beta, 1e-12f, 1);
+    hostLayerNorm(parallel, gamma, beta, 1e-12f, 6);
+    EXPECT_EQ(Matrix::maxAbsDiff(serial, parallel), 0.0f);
+}
+
+TEST(HostKernels, ParallelRowsVisitsEveryRowOnce)
+{
+    std::vector<std::atomic<int>> visits(257);
+    for (auto &v : visits)
+        v = 0;
+    parallelRows(visits.size(), 7,
+                 [&](std::size_t row) { ++visits[row]; });
+    for (const auto &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(HostKernels, SmallWorkloadsStaySerial)
+{
+    // Fewer rows than 2x workers: runs inline (no thread overhead).
+    int calls = 0;
+    parallelRows(3, 8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 3);
+}
+
+TEST(HostKernelsDeathTest, ZeroSoftmaxRowPanics)
+{
+    Matrix zeros(2, 4, 0.0f);
+    EXPECT_DEATH(hostSoftmaxDivide(zeros), "summed to zero");
+}
+
+TEST(HostKernelsDeathTest, LayerNormArityPanics)
+{
+    Matrix a(2, 4, 1.0f);
+    std::vector<float> wrong(3, 1.0f);
+    EXPECT_DEATH(hostLayerNorm(a, wrong, wrong, 1e-12f), "arity");
+}
+
+} // namespace
+} // namespace prose

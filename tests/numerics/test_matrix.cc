@@ -1,0 +1,281 @@
+/** @file Tests for the matrix container and tensor-op vocabulary. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "numerics/activations.hh"
+#include "numerics/bfloat16.hh"
+#include "numerics/matrix.hh"
+
+namespace prose {
+namespace {
+
+Matrix
+randomMatrix(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    Matrix m(rows, cols);
+    m.fillGaussian(rng, 0.0f, 1.0f);
+    return m;
+}
+
+TEST(Matrix, ConstructZeroFilled)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_EQ(m(i, j), 0.0f);
+}
+
+TEST(Matrix, FillConstructor)
+{
+    Matrix m(2, 2, 7.5f);
+    EXPECT_EQ(m(1, 1), 7.5f);
+}
+
+TEST(Matrix, RowPointerMatchesIndexing)
+{
+    Matrix m(2, 3);
+    m(1, 2) = 9.0f;
+    EXPECT_EQ(m.row(1)[2], 9.0f);
+}
+
+TEST(MatrixDeathTest, OutOfRangePanics)
+{
+    Matrix m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "out of range");
+}
+
+TEST(Matmul, IdentityIsNeutral)
+{
+    Rng rng(1);
+    Matrix a = randomMatrix(rng, 5, 5);
+    Matrix eye(5, 5);
+    for (std::size_t i = 0; i < 5; ++i)
+        eye(i, i) = 1.0f;
+    EXPECT_LT(Matrix::maxAbsDiff(matmul(a, eye), a), 1e-6f);
+    EXPECT_LT(Matrix::maxAbsDiff(matmul(eye, a), a), 1e-6f);
+}
+
+TEST(Matmul, KnownSmallProduct)
+{
+    Matrix a(2, 3);
+    Matrix b(3, 2);
+    float va = 1.0f;
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            a(i, j) = va++;
+    float vb = 1.0f;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            b(i, j) = vb++;
+    const Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 22.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 28.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 49.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 64.0f);
+}
+
+TEST(Matmul, AssociatesWithTranspose)
+{
+    // (A B)^T == B^T A^T.
+    Rng rng(2);
+    const Matrix a = randomMatrix(rng, 4, 6);
+    const Matrix b = randomMatrix(rng, 6, 3);
+    const Matrix lhs = transpose(matmul(a, b));
+    const Matrix rhs = matmul(transpose(b), transpose(a));
+    EXPECT_LT(Matrix::maxAbsDiff(lhs, rhs), 1e-4f);
+}
+
+TEST(MatmulDeathTest, InnerDimMismatchPanics)
+{
+    Matrix a(2, 3), b(4, 2);
+    EXPECT_DEATH(matmul(a, b), "inner-dim");
+}
+
+TEST(MatmulBf16, MatchesQuantizedReference)
+{
+    Rng rng(3);
+    Matrix a = randomMatrix(rng, 7, 9);
+    Matrix b = randomMatrix(rng, 9, 5);
+    Matrix aq = a, bq = b;
+    aq.quantizeBf16InPlace();
+    bq.quantizeBf16InPlace();
+    EXPECT_EQ(Matrix::maxAbsDiff(matmulBf16(a, b), matmul(aq, bq)), 0.0f);
+}
+
+TEST(MatmulBf16, CloseToFp32ForModestMagnitudes)
+{
+    Rng rng(4);
+    const Matrix a = randomMatrix(rng, 16, 32);
+    const Matrix b = randomMatrix(rng, 32, 16);
+    const float diff = Matrix::maxAbsDiff(matmulBf16(a, b), matmul(a, b));
+    // Error ~ k * |a| * |b| * 2^-8: with k=32 and unit-normal entries,
+    // well under 0.5.
+    EXPECT_LT(diff, 0.5f);
+    EXPECT_GT(diff, 0.0f); // quantization is actually happening
+}
+
+TEST(MulAdd, ScalesAndAdds)
+{
+    Matrix a(2, 2, 1.0f), b(2, 2, 10.0f);
+    const Matrix c = mulAdd(2.0f, a, 0.5f, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 7.0f);
+}
+
+TEST(MatDiv, ReciprocalMultiplication)
+{
+    Matrix a(2, 2, 8.0f);
+    const Matrix c = matDiv(a, 4.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 2.0f);
+}
+
+TEST(MatDivDeathTest, DivideByZeroPanics)
+{
+    Matrix a(1, 1, 1.0f);
+    EXPECT_DEATH(matDiv(a, 0.0f), "zero");
+}
+
+TEST(Transpose, Involution)
+{
+    Rng rng(5);
+    const Matrix a = randomMatrix(rng, 3, 7);
+    EXPECT_EQ(Matrix::maxAbsDiff(transpose(transpose(a)), a), 0.0f);
+}
+
+TEST(RowSoftmax, RowsSumToOne)
+{
+    Rng rng(6);
+    const Matrix a = randomMatrix(rng, 10, 20);
+    const Matrix p = rowSoftmax(a);
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < p.cols(); ++j) {
+            EXPECT_GT(p(i, j), 0.0f);
+            sum += p(i, j);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(RowSoftmax, StableUnderLargeInputs)
+{
+    Matrix a(1, 3);
+    a(0, 0) = 1000.0f;
+    a(0, 1) = 999.0f;
+    a(0, 2) = 998.0f;
+    const Matrix p = rowSoftmax(a);
+    EXPECT_FALSE(std::isnan(p(0, 0)));
+    EXPECT_GT(p(0, 0), p(0, 1));
+    EXPECT_GT(p(0, 1), p(0, 2));
+}
+
+TEST(RowSoftmax, ShiftInvariant)
+{
+    Rng rng(7);
+    Matrix a = randomMatrix(rng, 4, 8);
+    Matrix shifted = a;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            shifted(i, j) += 5.0f;
+    EXPECT_LT(Matrix::maxAbsDiff(rowSoftmax(a), rowSoftmax(shifted)),
+              1e-5f);
+}
+
+TEST(LayerNorm, NormalizesRows)
+{
+    Rng rng(8);
+    const Matrix a = randomMatrix(rng, 6, 64);
+    std::vector<float> gamma(64, 1.0f), beta(64, 0.0f);
+    const Matrix out = layerNorm(a, gamma, beta);
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+        double sum = 0.0, sum_sq = 0.0;
+        for (std::size_t j = 0; j < out.cols(); ++j) {
+            sum += out(i, j);
+            sum_sq += static_cast<double>(out(i, j)) * out(i, j);
+        }
+        EXPECT_NEAR(sum / 64.0, 0.0, 1e-4);
+        EXPECT_NEAR(sum_sq / 64.0, 1.0, 1e-3);
+    }
+}
+
+TEST(LayerNorm, GainAndBiasApplied)
+{
+    Matrix a(1, 4);
+    a(0, 0) = 1.0f;
+    a(0, 1) = 2.0f;
+    a(0, 2) = 3.0f;
+    a(0, 3) = 4.0f;
+    std::vector<float> gamma(4, 2.0f), beta(4, 10.0f);
+    const Matrix out = layerNorm(a, gamma, beta);
+    // Mean of outputs should be the bias (gain scales zero-mean data).
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 4; ++j)
+        sum += out(0, j);
+    EXPECT_NEAR(sum / 4.0, 10.0, 1e-4);
+}
+
+TEST(Bmm, BatchedMatchesLooped)
+{
+    Rng rng(9);
+    std::vector<Matrix> as, bs;
+    for (int i = 0; i < 4; ++i) {
+        as.push_back(randomMatrix(rng, 3, 5));
+        bs.push_back(randomMatrix(rng, 5, 2));
+    }
+    const auto cs = bmm(as, bs);
+    ASSERT_EQ(cs.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(Matrix::maxAbsDiff(cs[i], matmul(as[i], bs[i])), 0.0f);
+}
+
+TEST(SliceAndConcat, RoundTrip)
+{
+    Rng rng(10);
+    const Matrix a = randomMatrix(rng, 4, 12);
+    const Matrix left = sliceCols(a, 0, 5);
+    const Matrix right = sliceCols(a, 5, 7);
+    EXPECT_EQ(Matrix::maxAbsDiff(hconcat({ left, right }), a), 0.0f);
+}
+
+TEST(SliceRows, ExtractsBlock)
+{
+    Rng rng(11);
+    const Matrix a = randomMatrix(rng, 8, 3);
+    const Matrix mid = sliceRows(a, 2, 4);
+    EXPECT_EQ(mid.rows(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_EQ(mid(i, j), a(i + 2, j));
+}
+
+TEST(Map, AppliesFunction)
+{
+    Matrix a(2, 2, 4.0f);
+    const Matrix out = map(a, [](float x) { return x * x; });
+    EXPECT_FLOAT_EQ(out(0, 0), 16.0f);
+}
+
+TEST(FrobeniusNorm, KnownValue)
+{
+    Matrix a(1, 2);
+    a(0, 0) = 3.0f;
+    a(0, 1) = 4.0f;
+    EXPECT_FLOAT_EQ(a.frobeniusNorm(), 5.0f);
+}
+
+TEST(QuantizeBf16InPlace, EveryElementRepresentable)
+{
+    Rng rng(12);
+    Matrix a = randomMatrix(rng, 5, 5);
+    a.quantizeBf16InPlace();
+    for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t j = 0; j < 5; ++j)
+            EXPECT_EQ(a(i, j), quantizeBf16(a(i, j)));
+}
+
+} // namespace
+} // namespace prose

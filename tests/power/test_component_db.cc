@@ -1,0 +1,104 @@
+/** @file Tests for the Table 2 component library. */
+
+#include <gtest/gtest.h>
+
+#include "power/component_db.hh"
+
+namespace prose {
+namespace {
+
+TEST(ComponentDb, HasAllTenTable2Rows)
+{
+    EXPECT_EQ(ComponentDb::instance().components().size(), 10u);
+}
+
+TEST(ComponentDb, LookupByGeometry)
+{
+    const ComponentDb &db = ComponentDb::instance();
+    const ComponentSpec &m64 = db.lookup(ArrayGeometry::mType(64));
+    EXPECT_DOUBLE_EQ(m64.frequencyMhz, 1626.1);
+    EXPECT_DOUBLE_EQ(m64.powerMw, 2552.1);
+    EXPECT_DOUBLE_EQ(m64.areaInBufMm2, 2.908);
+
+    const ComponentSpec &e16 = db.lookup(ArrayGeometry::eType(16));
+    EXPECT_DOUBLE_EQ(e16.frequencyMhz, 925.2);
+    EXPECT_DOUBLE_EQ(e16.powerInBufMw, 279.5);
+
+    const ComponentSpec &g32 = db.lookup(ArrayGeometry::gType(32));
+    EXPECT_DOUBLE_EQ(g32.powerMw, 808.4);
+}
+
+TEST(ComponentDb, PlainArraysAreFasterThanLutArrays)
+{
+    // Table 2: the special-function LUT sets the critical path, nearly
+    // halving the clock.
+    const ComponentDb &db = ComponentDb::instance();
+    for (std::uint32_t dim : { 16u, 32u, 64u }) {
+        const double plain = db.lookup(dim, false, false).frequencyMhz;
+        const double gelu = db.lookup(dim, true, false).frequencyMhz;
+        const double exp = db.lookup(dim, false, true).frequencyMhz;
+        EXPECT_GT(plain, 1.5 * gelu);
+        EXPECT_GT(plain, 1.5 * exp);
+    }
+}
+
+TEST(ComponentDb, MatmulCapableArraysMeetDoublePumpTarget)
+{
+    // The slowest matmul-capable array (1626.1 MHz) supports the
+    // 1.6 GHz double-pumped clock; the slowest SIMD/LUT array
+    // (858.1 MHz) supports 800 MHz.
+    const ComponentDb &db = ComponentDb::instance();
+    for (const auto &spec : db.components()) {
+        if (!spec.hasGelu && !spec.hasExp)
+            EXPECT_GE(spec.frequencyMhz, 1600.0);
+        else
+            EXPECT_GE(spec.frequencyMhz, 800.0);
+    }
+}
+
+TEST(ComponentDb, InputBufferAddsPowerAndArea)
+{
+    for (const auto &spec : ComponentDb::instance().components()) {
+        EXPECT_GT(spec.powerInBufMw, spec.powerMw);
+        EXPECT_GT(spec.areaInBufMm2, spec.areaMm2);
+    }
+}
+
+TEST(ComponentDb, PercentA100MatchesPaperRounding)
+{
+    // 16x16 +InBuf: 268.6 mW of 400 W ~ 0.07%; 0.213 mm^2 of 826 ~
+    // 0.03%.
+    const ComponentSpec &spec =
+        ComponentDb::instance().lookup(16, false, false);
+    EXPECT_NEAR(spec.percentA100Power(true), 0.067, 0.005);
+    EXPECT_NEAR(spec.percentA100Area(true), 0.026, 0.005);
+}
+
+TEST(ComponentDb, PowerAndAreaHelpers)
+{
+    const ComponentDb &db = ComponentDb::instance();
+    EXPECT_DOUBLE_EQ(db.arrayPowerWatts(ArrayGeometry::mType(64), false),
+                     2.5521);
+    EXPECT_DOUBLE_EQ(db.arrayAreaMm2(ArrayGeometry::gType(32), true),
+                     0.779);
+}
+
+TEST(ComponentDb, PowerScalesSuperlinearlyWithDim)
+{
+    // 64x64 has 16x the PEs of 16x16 and roughly 10x the power —
+    // sublinear per-PE cost at larger arrays (shared control).
+    const ComponentDb &db = ComponentDb::instance();
+    const double p16 = db.lookup(16, false, false).powerMw;
+    const double p64 = db.lookup(64, false, false).powerMw;
+    EXPECT_GT(p64, 8.0 * p16);
+    EXPECT_LT(p64, 16.0 * p16);
+}
+
+TEST(ComponentDbDeathTest, UnknownComponentIsFatal)
+{
+    EXPECT_EXIT(ComponentDb::instance().lookup(128, false, false),
+                testing::ExitedWithCode(1), "no Table 2 component");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,63 @@
+/** @file Tests for amino-acid property tables. */
+
+#include <gtest/gtest.h>
+
+#include "protein/amino_acid.hh"
+
+namespace prose {
+namespace {
+
+TEST(AminoAcid, TwentyCanonicalResidues)
+{
+    EXPECT_EQ(canonicalResidues().size(), 20u);
+}
+
+TEST(AminoAcid, KnownProperties)
+{
+    // Isoleucine is the most hydrophobic on the Kyte-Doolittle scale.
+    EXPECT_DOUBLE_EQ(aminoAcid('I').hydropathy, 4.5);
+    // Arginine the least.
+    EXPECT_DOUBLE_EQ(aminoAcid('R').hydropathy, -4.5);
+    // Charges at pH 7.
+    EXPECT_DOUBLE_EQ(aminoAcid('K').charge, 1.0);
+    EXPECT_DOUBLE_EQ(aminoAcid('D').charge, -1.0);
+    EXPECT_DOUBLE_EQ(aminoAcid('G').charge, 0.0);
+}
+
+TEST(AminoAcid, AromaticsFlagged)
+{
+    for (char code : { 'F', 'W', 'Y', 'H' })
+        EXPECT_EQ(aminoAcid(code).aromatic, 1.0) << code;
+    for (char code : { 'A', 'K', 'S' })
+        EXPECT_EQ(aminoAcid(code).aromatic, 0.0) << code;
+}
+
+TEST(AminoAcid, TryptophanIsLargest)
+{
+    for (char code : canonicalResidues())
+        EXPECT_LE(aminoAcid(code).volume, aminoAcid('W').volume);
+}
+
+TEST(AminoAcid, GlycineIsSmallest)
+{
+    for (char code : canonicalResidues())
+        EXPECT_GE(aminoAcid(code).volume, aminoAcid('G').volume);
+}
+
+TEST(AminoAcid, UnknownCodeGetsNeutralDefaults)
+{
+    const AminoAcid &unknown = aminoAcid('Z');
+    EXPECT_EQ(unknown.code, 'X');
+    EXPECT_EQ(unknown.hydropathy, 0.0);
+    EXPECT_FALSE(isCanonical('Z'));
+    EXPECT_FALSE(isCanonical('1'));
+}
+
+TEST(AminoAcid, CanonicalPredicate)
+{
+    for (char code : canonicalResidues())
+        EXPECT_TRUE(isCanonical(code)) << code;
+}
+
+} // namespace
+} // namespace prose

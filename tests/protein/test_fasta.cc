@@ -1,0 +1,112 @@
+/** @file Tests for FASTA I/O and synthetic protein generation. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "protein/amino_acid.hh"
+#include "protein/fasta.hh"
+
+namespace prose {
+namespace {
+
+TEST(Fasta, ParsesTwoRecords)
+{
+    std::istringstream in(">seq1 first protein\nMEYQ\nACDW\n"
+                          ">seq2\nKKKK\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].id, "seq1");
+    EXPECT_EQ(records[0].comment, "first protein");
+    EXPECT_EQ(records[0].sequence, "MEYQACDW");
+    EXPECT_EQ(records[1].id, "seq2");
+    EXPECT_EQ(records[1].comment, "");
+    EXPECT_EQ(records[1].sequence, "KKKK");
+}
+
+TEST(Fasta, UppercasesAndSkipsBlankLines)
+{
+    std::istringstream in(">x\n\nmeyq\n\nacd\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].sequence, "MEYQACD");
+}
+
+TEST(Fasta, EmptyInputGivesNoRecords)
+{
+    std::istringstream in("");
+    EXPECT_TRUE(readFasta(in).empty());
+}
+
+TEST(Fasta, RoundTripThroughWriter)
+{
+    std::vector<FastaRecord> records{
+        { "a", "note", std::string(130, 'M') },
+        { "b", "", "ACD" },
+    };
+    std::ostringstream out;
+    writeFasta(out, records);
+    std::istringstream in(out.str());
+    const auto parsed = readFasta(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].sequence, records[0].sequence);
+    EXPECT_EQ(parsed[0].comment, "note");
+    EXPECT_EQ(parsed[1].sequence, "ACD");
+}
+
+TEST(Fasta, WriterWrapsAtSixtyColumns)
+{
+    std::vector<FastaRecord> records{ { "a", "", std::string(90, 'A') } };
+    std::ostringstream out;
+    writeFasta(out, records);
+    std::istringstream lines(out.str());
+    std::string line;
+    std::getline(lines, line); // header
+    std::getline(lines, line);
+    EXPECT_EQ(line.size(), 60u);
+    std::getline(lines, line);
+    EXPECT_EQ(line.size(), 30u);
+}
+
+TEST(FastaDeathTest, SequenceBeforeHeaderIsFatal)
+{
+    std::istringstream in("MEYQ\n");
+    EXPECT_EXIT(readFasta(in), testing::ExitedWithCode(1), "header");
+}
+
+TEST(Fasta, HeaderOnlyRecordIsFatal)
+{
+    std::istringstream in(">lonely-header\n");
+    EXPECT_DEATH(readFasta(in), "no sequence");
+}
+
+TEST(RandomProtein, LengthAndAlphabet)
+{
+    Rng rng(1);
+    const std::string protein = randomProtein(rng, 500);
+    EXPECT_EQ(protein.size(), 500u);
+    for (char residue : protein)
+        EXPECT_TRUE(isCanonical(residue)) << residue;
+}
+
+TEST(RandomProtein, CompositionRoughlyNatural)
+{
+    // Leucine should be the most common residue, tryptophan rare.
+    Rng rng(2);
+    const std::string protein = randomProtein(rng, 50000);
+    auto count = [&](char code) {
+        return std::count(protein.begin(), protein.end(), code);
+    };
+    EXPECT_GT(count('L'), count('W') * 4);
+    EXPECT_GT(count('A'), count('C') * 2);
+}
+
+TEST(RandomProtein, Deterministic)
+{
+    Rng a(3), b(3);
+    EXPECT_EQ(randomProtein(a, 100), randomProtein(b, 100));
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,160 @@
+/** @file Tests for deep mutational scanning. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+#include "protein/amino_acid.hh"
+#include "protein/fasta.hh"
+#include "model/tokenizer.hh"
+#include "protein/mutation_scan.hh"
+
+namespace prose {
+namespace {
+
+/** A tiny model + head trained on a known biophysical signal. */
+struct Fixture
+{
+    Fixture()
+        : model(makeConfig(), 33)
+    {
+        Rng rng(8);
+        std::vector<std::string> proteins;
+        std::vector<double> targets;
+        const AminoTokenizer tokenizer;
+        std::vector<std::vector<std::uint32_t>> tokens;
+        for (int i = 0; i < 80; ++i) {
+            const std::string protein = randomProtein(rng, kLen);
+            double hydropathy = 0.0;
+            for (char residue : protein)
+                hydropathy += aminoAcid(residue).hydropathy;
+            proteins.push_back(protein);
+            targets.push_back(hydropathy / kLen);
+            tokens.push_back(tokenizer.encode(protein, kLen + 2));
+        }
+        head.fit(model.extractFeatures(tokens), targets, 5.0);
+    }
+
+    static BertConfig
+    makeConfig()
+    {
+        BertConfig config = BertConfig::tiny();
+        config.maxSeqLen = 64;
+        return config;
+    }
+
+    static constexpr std::size_t kLen = 18;
+    BertModel model;
+    RegressionHead head;
+};
+
+Fixture &
+fixture()
+{
+    static Fixture instance;
+    return instance;
+}
+
+TEST(MutationScan, EnumeratesAllSubstitutions)
+{
+    Fixture &f = fixture();
+    const std::string wild = "ACDEFGHIKL";
+    const MutationScan scan = scanMutations(f.model, f.head, wild, 32);
+    EXPECT_EQ(scan.effects.size(), 19u * wild.size());
+    // No self-substitutions.
+    for (const auto &effect : scan.effects)
+        EXPECT_NE(effect.from, effect.to);
+}
+
+TEST(MutationScan, EffectsAreHeadDeltas)
+{
+    Fixture &f = fixture();
+    const std::string wild = "ACDEFG";
+    const MutationScan scan = scanMutations(f.model, f.head, wild, 16);
+
+    // Recompute one mutant's score by hand.
+    const AminoTokenizer tokenizer;
+    std::string mutant = wild;
+    mutant[2] = 'W';
+    const double mutant_score =
+        f.head
+            .predict(f.model.extractFeatures(
+                { tokenizer.encode(mutant, wild.size() + 2) }))
+            .front();
+    EXPECT_NEAR(scan.effectAt(2, 'W'),
+                mutant_score - scan.wildTypeScore, 1e-9);
+}
+
+TEST(MutationScan, BatchSizeDoesNotChangeResults)
+{
+    Fixture &f = fixture();
+    const std::string wild = "MEYQAC";
+    const MutationScan small = scanMutations(f.model, f.head, wild, 3);
+    const MutationScan large = scanMutations(f.model, f.head, wild, 64);
+    ASSERT_EQ(small.effects.size(), large.effects.size());
+    for (std::size_t i = 0; i < small.effects.size(); ++i)
+        EXPECT_NEAR(small.effects[i].score, large.effects[i].score,
+                    1e-9);
+}
+
+TEST(MutationScan, RecoversHydropathyDirection)
+{
+    // The head was trained on mean hydropathy, so substituting a very
+    // hydrophobic residue (I, +4.5) for a very hydrophilic one
+    // (R, -4.5) should score positive, and vice versa.
+    Fixture &f = fixture();
+    const std::string wild = "RRRRRRIIIIII";
+    const MutationScan scan = scanMutations(f.model, f.head, wild, 64);
+    // R -> I at an R site vs I -> R at an I site.
+    EXPECT_GT(scan.effectAt(0, 'I'), scan.effectAt(6, 'R'));
+}
+
+TEST(MutationScan, PredictedEffectsCorrelateWithTruth)
+{
+    Fixture &f = fixture();
+    Rng rng(21);
+    const std::string wild = randomProtein(rng, Fixture::kLen);
+    const MutationScan scan = scanMutations(f.model, f.head, wild, 64);
+
+    std::vector<double> predicted, truth;
+    for (const auto &effect : scan.effects) {
+        predicted.push_back(effect.score);
+        truth.push_back((aminoAcid(effect.to).hydropathy -
+                         aminoAcid(effect.from).hydropathy) /
+                        static_cast<double>(wild.size()));
+    }
+    EXPECT_GT(spearman(predicted, truth), 0.5);
+}
+
+TEST(MutationScan, BestAndWorstAreExtremes)
+{
+    Fixture &f = fixture();
+    const std::string wild = "ACDEFG";
+    const MutationScan scan = scanMutations(f.model, f.head, wild, 64);
+    for (const auto &effect : scan.effects) {
+        EXPECT_LE(effect.score, scan.best().score);
+        EXPECT_GE(effect.score, scan.worst().score);
+    }
+}
+
+TEST(MutationScan, PositionSensitivityCoversEveryPosition)
+{
+    Fixture &f = fixture();
+    const std::string wild = "ACDEFGHI";
+    const MutationScan scan = scanMutations(f.model, f.head, wild, 64);
+    const auto sensitivity = scan.positionSensitivity();
+    ASSERT_EQ(sensitivity.size(), wild.size());
+    for (double s : sensitivity)
+        EXPECT_GT(s, 0.0);
+}
+
+TEST(MutationScanDeathTest, RejectsNonCanonicalWildType)
+{
+    Fixture &f = fixture();
+    EXPECT_DEATH(scanMutations(f.model, f.head, "ACDX1"),
+                 "non-canonical");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,81 @@
+/** @file Tests for link provisioning / Little's-Law buffer sizing,
+ *  cross-checked against the cycle-stepped stall behavior. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "systolic/provisioning.hh"
+#include "systolic/systolic_array.hh"
+
+namespace prose {
+namespace {
+
+TEST(Provisioning, StallFreeBandwidthFormula)
+{
+    // 64x64 at 1.6 GHz: 2 edges x 64 elems x 2 B x 1.6e9 = 409.6 GB/s.
+    const ArrayGeometry m64 = ArrayGeometry::mType(64);
+    EXPECT_NEAR(stallFreeBandwidth(m64), 409.6e9, 1e6);
+    // 16x16 needs a quarter of that.
+    EXPECT_NEAR(stallFreeBandwidth(ArrayGeometry::eType(16)), 102.4e9,
+                1e6);
+}
+
+TEST(Provisioning, SupplyRateInvertsBandwidth)
+{
+    const ArrayGeometry geom = ArrayGeometry::mType(32);
+    // Exactly the stall-free share -> 1 entry/cycle per edge.
+    EXPECT_NEAR(supplyRatePerEdge(geom, stallFreeBandwidth(geom)), 1.0,
+                1e-12);
+    // Half the share -> half the rate.
+    EXPECT_NEAR(
+        supplyRatePerEdge(geom, stallFreeBandwidth(geom) / 2.0), 0.5,
+        1e-12);
+}
+
+TEST(Provisioning, CycleSteppedModelAgreesWithTheFormula)
+{
+    // Property: feeding the array at supplyRatePerEdge(share) stalls
+    // iff the share is below stallFreeBandwidth.
+    Rng rng(3);
+    const ArrayGeometry geom = ArrayGeometry::mType(8);
+    Matrix a(8, 64), b(64, 8);
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    b.fillGaussian(rng, 0.0f, 1.0f);
+
+    const double ample =
+        supplyRatePerEdge(geom, 1.2 * stallFreeBandwidth(geom));
+    SystolicArray fed(geom, ample, ample);
+    fed.matmulTile(a, b);
+    EXPECT_EQ(fed.stallCycles(), 0u);
+
+    const double starved =
+        supplyRatePerEdge(geom, 0.6 * stallFreeBandwidth(geom));
+    SystolicArray hungry(geom, starved, starved);
+    hungry.matmulTile(a, b);
+    EXPECT_GT(hungry.stallCycles(), 0u);
+}
+
+TEST(Provisioning, LittlesLawDepthMatchesPaperBuffers)
+{
+    // An NVLink-class hop is a few nanoseconds of wire+SerDes jitter;
+    // at 1.6 GHz, 5 ns of in-flight supply is exactly 8 entries — the
+    // paper's 8-deep buffers.
+    const ArrayGeometry geom = ArrayGeometry::mType(64);
+    EXPECT_EQ(littlesLawDepth(geom, 5e-9), 8u);
+    EXPECT_LE(littlesLawDepth(geom, 4.9e-9), 8u);
+    EXPECT_GT(littlesLawDepth(geom, 20e-9), 8u);
+}
+
+TEST(Provisioning, ZeroLatencyNeedsNoBuffer)
+{
+    EXPECT_EQ(littlesLawDepth(ArrayGeometry::mType(16), 0.0), 0u);
+}
+
+TEST(ProvisioningDeathTest, NonPositiveShareRejected)
+{
+    EXPECT_DEATH(supplyRatePerEdge(ArrayGeometry::mType(16), 0.0),
+                 "non-positive");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,93 @@
+/** @file Tests for the 8-deep streaming buffer (Little's Law sizing). */
+
+#include <gtest/gtest.h>
+
+#include "systolic/stream_buffer.hh"
+
+namespace prose {
+namespace {
+
+TEST(StreamBuffer, SufficientRateNeverStalls)
+{
+    StreamBuffer buffer(8, 1.0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(buffer.tick());
+    EXPECT_EQ(buffer.stallCycles(), 0u);
+    EXPECT_EQ(buffer.consumed(), 1000u);
+}
+
+TEST(StreamBuffer, OversupplyCapsAtDepth)
+{
+    StreamBuffer buffer(8, 100.0);
+    buffer.tickNoConsume();
+    EXPECT_LE(buffer.occupancy(), 8.0);
+}
+
+TEST(StreamBuffer, HalfRateStallsHalfTheTime)
+{
+    StreamBuffer buffer(8, 0.5);
+    std::uint64_t consumed = 0;
+    for (int i = 0; i < 1000; ++i)
+        consumed += buffer.tick() ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(consumed), 500.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(buffer.stallCycles()), 500.0, 10.0);
+}
+
+TEST(StreamBuffer, FractionalRateAccumulates)
+{
+    // 0.25 entries/cycle -> one consumption every 4 cycles.
+    StreamBuffer buffer(8, 0.25);
+    std::uint64_t consumed = 0;
+    for (int i = 0; i < 400; ++i)
+        consumed += buffer.tick() ? 1 : 0;
+    EXPECT_EQ(consumed, 100u);
+}
+
+TEST(StreamBuffer, PrefillAbsorbsBurst)
+{
+    // Little's Law: a full 8-deep buffer rides out 8 cycles of a
+    // starved link before the array stalls.
+    StreamBuffer buffer(8, 0.01);
+    buffer.fill();
+    int before_stall = 0;
+    while (buffer.tick())
+        ++before_stall;
+    EXPECT_EQ(before_stall, 8);
+}
+
+TEST(StreamBuffer, ResetClearsEverything)
+{
+    StreamBuffer buffer(8, 0.5);
+    for (int i = 0; i < 100; ++i)
+        buffer.tick();
+    buffer.reset();
+    EXPECT_EQ(buffer.occupancy(), 0.0);
+    EXPECT_EQ(buffer.stallCycles(), 0u);
+    EXPECT_EQ(buffer.consumed(), 0u);
+}
+
+TEST(StreamBuffer, SplitPhaseApi)
+{
+    StreamBuffer buffer(4, 1.0);
+    buffer.fillTick();
+    ASSERT_TRUE(buffer.available());
+    buffer.consume();
+    EXPECT_EQ(buffer.consumed(), 1u);
+    EXPECT_FALSE(buffer.available());
+    buffer.noteStall();
+    EXPECT_EQ(buffer.stallCycles(), 1u);
+}
+
+TEST(StreamBufferDeathTest, ConsumeEmptyPanics)
+{
+    StreamBuffer buffer(4, 0.1);
+    EXPECT_DEATH(buffer.consume(), "empty");
+}
+
+TEST(StreamBufferDeathTest, ZeroDepthRejected)
+{
+    EXPECT_DEATH(StreamBuffer(0, 1.0), "depth");
+}
+
+} // namespace
+} // namespace prose

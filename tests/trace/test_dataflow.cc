@@ -1,0 +1,194 @@
+/** @file Tests for dataflow construction and the synthetic BERT trace. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/dataflow.hh"
+
+namespace prose {
+namespace {
+
+BertShape
+tinyShape()
+{
+    return BertShape{ 2, 64, 4, 256, 3, 16 };
+}
+
+TEST(SynthesizeTrace, OpCountMatchesAnalyticFormula)
+{
+    // Per layer: 3x(MatMul, MulAdd, Transpose) + 5 attention-core ops +
+    // Transpose + (MatMul, 2 MulAdd, LayerNorm) + (MatMul, MulAdd, Gelu)
+    // + (MatMul, 2 MulAdd, LayerNorm) = 26 ops; plus 2 embedding ops.
+    const BertShape shape = tinyShape();
+    const OpTrace trace = synthesizeBertTrace(shape);
+    EXPECT_EQ(trace.size(), 2 + shape.layers * 26);
+}
+
+TEST(SynthesizeTrace, ShapesUseFlattenedTokens)
+{
+    const BertShape shape = tinyShape();
+    const OpTrace trace = synthesizeBertTrace(shape);
+    // First MatMul is the Q projection: (batch*len) x hidden x hidden.
+    for (const auto &op : trace.ops()) {
+        if (op.kind == OpKind::MatMul) {
+            EXPECT_EQ(op.m, shape.batch * shape.seqLen);
+            EXPECT_EQ(op.k, shape.hidden);
+            EXPECT_EQ(op.n, shape.hidden);
+            break;
+        }
+    }
+}
+
+TEST(SynthesizeTrace, BmmShapesMatchAttention)
+{
+    // Use a length != head dim so the two BMM shapes are unambiguous.
+    BertShape shape = tinyShape();
+    shape.seqLen = 32;
+    const OpTrace trace = synthesizeBertTrace(shape);
+    const std::uint64_t dk = shape.hidden / shape.heads;
+    bool saw_scores = false, saw_context = false;
+    for (const auto &op : trace.ops()) {
+        if (op.kind != OpKind::Bmm)
+            continue;
+        EXPECT_EQ(op.batch, shape.batch * shape.heads);
+        if (op.k == dk) {
+            EXPECT_EQ(op.m, shape.seqLen);
+            EXPECT_EQ(op.n, shape.seqLen);
+            saw_scores = true;
+        } else {
+            EXPECT_EQ(op.k, shape.seqLen);
+            EXPECT_EQ(op.n, dk);
+            saw_context = true;
+        }
+    }
+    EXPECT_TRUE(saw_scores);
+    EXPECT_TRUE(saw_context);
+}
+
+TEST(DataflowBuilder, GroupsPerFigure7)
+{
+    // Per layer: 4x DF1 (Q, K, V, attention output) + 1x DF3 + 1x DF2
+    // (intermediate) + 1x DF1 (output) -> 5 DF1, 1 DF2, 1 DF3.
+    const BertShape shape = tinyShape();
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeBertTrace(shape));
+
+    std::map<DataflowKind, std::size_t> counts;
+    for (const auto &task : tasks)
+        ++counts[task.kind];
+    EXPECT_EQ(counts[DataflowKind::Dataflow1], 5 * shape.layers);
+    EXPECT_EQ(counts[DataflowKind::Dataflow2], 1 * shape.layers);
+    EXPECT_EQ(counts[DataflowKind::Dataflow3], 1 * shape.layers);
+}
+
+TEST(DataflowBuilder, Dataflow3HasThePaperSequence)
+{
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeBertTrace(tinyShape()));
+    for (const auto &task : tasks) {
+        if (task.kind != DataflowKind::Dataflow3)
+            continue;
+        ASSERT_EQ(task.ops.size(), 5u);
+        EXPECT_EQ(task.ops[0].kind, OpKind::Bmm);
+        EXPECT_EQ(task.ops[1].kind, OpKind::MatDiv);
+        EXPECT_EQ(task.ops[2].kind, OpKind::Exp);
+        EXPECT_EQ(task.ops[3].kind, OpKind::SoftmaxHost);
+        EXPECT_EQ(task.ops[4].kind, OpKind::Bmm);
+    }
+}
+
+TEST(DataflowBuilder, Dataflow2EndsWithGelu)
+{
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeBertTrace(tinyShape()));
+    for (const auto &task : tasks) {
+        if (task.kind != DataflowKind::Dataflow2)
+            continue;
+        EXPECT_EQ(task.ops.front().kind, OpKind::MatMul);
+        EXPECT_EQ(task.ops.back().kind, OpKind::Gelu);
+        EXPECT_EQ(task.sublayer, Sublayer::Intermediate);
+    }
+}
+
+TEST(DataflowBuilder, HostTasksAreSingleOps)
+{
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeBertTrace(tinyShape()));
+    for (const auto &task : tasks) {
+        if (task.kind != DataflowKind::Host)
+            continue;
+        ASSERT_EQ(task.ops.size(), 1u);
+        const OpKind kind = task.ops[0].kind;
+        EXPECT_TRUE(kind == OpKind::LayerNorm || kind == OpKind::Embed ||
+                    kind == OpKind::Transpose);
+    }
+}
+
+TEST(DataflowBuilder, AcceleratedFractionNearNinetyPercent)
+{
+    // The paper: Dataflows 1-3 capture ~90% of operations (80-95%).
+    const BertShape shape{ 12, 768, 12, 3072, 4, 512 };
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeBertTrace(shape));
+    const double fraction = DataflowBuilder::acceleratedFraction(tasks);
+    EXPECT_GT(fraction, 0.80);
+    EXPECT_LE(fraction, 1.0);
+}
+
+TEST(DataflowTask, StreamBytesCountOperandsOnce)
+{
+    // DF1 over MatMul(m,k,n) + broadcast MulAdd: A + B + bias in, m*n
+    // out, all bf16.
+    OpTrace trace;
+    trace.record(OpKind::MatMul, Sublayer::Attention, 0, 1, 8, 16, 4);
+    trace.record(OpKind::MulAdd, Sublayer::Attention, 0, 1, 8, 0, 4,
+                 true);
+    const auto tasks = DataflowBuilder{}.build(trace);
+    ASSERT_EQ(tasks.size(), 1u);
+    EXPECT_EQ(tasks[0].kind, DataflowKind::Dataflow1);
+    EXPECT_EQ(tasks[0].streamBytesIn(),
+              (8 * 16 + 16 * 4) * 2u + 4 * 2u);
+    EXPECT_EQ(tasks[0].streamBytesOut(), 8 * 4 * 2u);
+}
+
+TEST(DataflowTask, Dataflow3OutputIncludesExpRoundTrip)
+{
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeBertTrace(tinyShape()));
+    for (const auto &task : tasks) {
+        if (task.kind != DataflowKind::Dataflow3)
+            continue;
+        const Op &exp_op = task.ops[2];
+        const Op &ctx = task.ops[4];
+        EXPECT_EQ(task.streamBytesOut(),
+                  exp_op.bytesOut(2) + ctx.bytesOut(2));
+        break;
+    }
+}
+
+TEST(DataflowTask, DescribeListsOps)
+{
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeBertTrace(tinyShape()));
+    const std::string text = tasks.front().describe();
+    EXPECT_FALSE(text.empty());
+}
+
+TEST(DataflowBuilderDeathTest, DanglingMatMulPanics)
+{
+    OpTrace trace;
+    trace.record(OpKind::MatMul, Sublayer::Attention, 0, 1, 4, 4, 4);
+    EXPECT_DEATH(DataflowBuilder{}.build(trace), "without a fused");
+}
+
+TEST(DataflowBuilderDeathTest, BrokenDataflow3Panics)
+{
+    OpTrace trace;
+    trace.record(OpKind::Bmm, Sublayer::Attention, 0, 2, 4, 4, 4);
+    trace.record(OpKind::Gelu, Sublayer::Attention, 0, 1, 4, 0, 4);
+    EXPECT_DEATH(DataflowBuilder{}.build(trace), "Dataflow 3");
+}
+
+} // namespace
+} // namespace prose

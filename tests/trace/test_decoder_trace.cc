@@ -1,0 +1,121 @@
+/** @file Tests for the decoder-stack trace synthesis (the paper's
+ *  translation-model generality path). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/dataflow.hh"
+
+namespace prose {
+namespace {
+
+DecoderShape
+tinyDecoder()
+{
+    DecoderShape shape;
+    shape.layers = 2;
+    shape.hidden = 64;
+    shape.heads = 8; // dk = 8, distinct from every sequence length
+    shape.intermediate = 256;
+    shape.batch = 3;
+    shape.targetLen = 16;
+    shape.sourceLen = 48;
+    return shape;
+}
+
+TEST(DecoderTrace, OpCountMatchesAnalyticFormula)
+{
+    // Per attention block: Q (3 ops) + K,V (2x3) + 5 core + transpose +
+    // 4 output = 19; two blocks + FFN (3 + 4) = 45 per layer; + 2
+    // embedding ops.
+    const DecoderShape shape = tinyDecoder();
+    const OpTrace trace = synthesizeDecoderTrace(shape);
+    EXPECT_EQ(trace.size(), 2 + shape.layers * (2 * 19 + 7));
+}
+
+TEST(DecoderTrace, GrammarParsesIntoDataflows)
+{
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeDecoderTrace(tinyDecoder()));
+    std::map<DataflowKind, std::size_t> counts;
+    for (const auto &task : tasks)
+        ++counts[task.kind];
+    // Per layer: 4x DF1 per attention block (Q, K, V, out) x2 blocks +
+    // 1x DF2 + 1x DF1 (FFN down) = 9 DF1, 1 DF2, 2 DF3.
+    const DecoderShape shape = tinyDecoder();
+    EXPECT_EQ(counts[DataflowKind::Dataflow1], 9 * shape.layers);
+    EXPECT_EQ(counts[DataflowKind::Dataflow2], 1 * shape.layers);
+    EXPECT_EQ(counts[DataflowKind::Dataflow3], 2 * shape.layers);
+}
+
+TEST(DecoderTrace, CrossAttentionShapesUseSourceLength)
+{
+    const DecoderShape shape = tinyDecoder();
+    const OpTrace trace = synthesizeDecoderTrace(shape);
+    bool saw_cross_scores = false;
+    for (const auto &op : trace.ops()) {
+        if (op.kind != OpKind::Bmm)
+            continue;
+        if (op.n == shape.sourceLen) {
+            EXPECT_EQ(op.m, shape.targetLen);
+            EXPECT_EQ(op.k, shape.hidden / shape.heads);
+            saw_cross_scores = true;
+        }
+    }
+    EXPECT_TRUE(saw_cross_scores);
+}
+
+TEST(DecoderTrace, SelfAttentionShapesUseTargetLength)
+{
+    const DecoderShape shape = tinyDecoder();
+    const OpTrace trace = synthesizeDecoderTrace(shape);
+    std::size_t self_scores = 0;
+    for (const auto &op : trace.ops()) {
+        if (op.kind == OpKind::Bmm && op.m == shape.targetLen &&
+            op.n == shape.targetLen) {
+            ++self_scores;
+        }
+    }
+    EXPECT_EQ(self_scores, shape.layers); // one per layer
+}
+
+TEST(DecoderTrace, KvProjectionsSizedToMemory)
+{
+    // Cross-attention K/V projections consume the encoder memory:
+    // (batch * sourceLen) x hidden x hidden matmuls must appear.
+    const DecoderShape shape = tinyDecoder();
+    const OpTrace trace = synthesizeDecoderTrace(shape);
+    std::size_t memory_matmuls = 0;
+    for (const auto &op : trace.ops())
+        if (op.kind == OpKind::MatMul &&
+            op.m == shape.batch * shape.sourceLen)
+            ++memory_matmuls;
+    // Two per layer for the cross block... plus two per layer for the
+    // self block only when targetLen == sourceLen (it does not here).
+    EXPECT_EQ(memory_matmuls, 2 * shape.layers);
+}
+
+TEST(DecoderTrace, AcceleratedFractionStaysHigh)
+{
+    const auto tasks =
+        DataflowBuilder{}.build(synthesizeDecoderTrace(tinyDecoder()));
+    EXPECT_GT(DataflowBuilder::acceleratedFraction(tasks), 0.8);
+}
+
+TEST(DecoderTrace, FlopsScaleWithBothLengths)
+{
+    DecoderShape base = tinyDecoder();
+    DecoderShape longer_target = base;
+    longer_target.targetLen *= 2;
+    DecoderShape longer_source = base;
+    longer_source.sourceLen *= 2;
+    const double f_base = synthesizeDecoderTrace(base).totalFlops();
+    EXPECT_GT(synthesizeDecoderTrace(longer_target).totalFlops(),
+              1.5 * f_base);
+    EXPECT_GT(synthesizeDecoderTrace(longer_source).totalFlops(),
+              1.2 * f_base);
+}
+
+} // namespace
+} // namespace prose

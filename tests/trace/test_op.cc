@@ -1,0 +1,99 @@
+/** @file Tests for op records: flops, traffic, categories. */
+
+#include <gtest/gtest.h>
+
+#include "trace/op.hh"
+
+namespace prose {
+namespace {
+
+Op
+makeOp(OpKind kind, std::uint64_t batch, std::uint64_t m, std::uint64_t k,
+       std::uint64_t n)
+{
+    Op op;
+    op.kind = kind;
+    op.batch = batch;
+    op.m = m;
+    op.k = k;
+    op.n = n;
+    return op;
+}
+
+TEST(Op, MatmulFlops)
+{
+    const Op op = makeOp(OpKind::MatMul, 1, 10, 20, 30);
+    EXPECT_DOUBLE_EQ(op.flops(), 2.0 * 10 * 20 * 30);
+}
+
+TEST(Op, BmmFlopsScaleWithBatch)
+{
+    const Op op = makeOp(OpKind::Bmm, 8, 4, 4, 4);
+    EXPECT_DOUBLE_EQ(op.flops(), 8.0 * 2 * 4 * 4 * 4);
+}
+
+TEST(Op, ElementwiseFlops)
+{
+    EXPECT_DOUBLE_EQ(makeOp(OpKind::MulAdd, 1, 10, 0, 10).flops(), 300.0);
+    EXPECT_DOUBLE_EQ(makeOp(OpKind::MatDiv, 1, 10, 0, 10).flops(), 100.0);
+    EXPECT_DOUBLE_EQ(makeOp(OpKind::Gelu, 1, 10, 0, 10).flops(), 100.0);
+    EXPECT_DOUBLE_EQ(makeOp(OpKind::Transpose, 1, 10, 0, 10).flops(), 0.0);
+}
+
+TEST(Op, MatmulBytes)
+{
+    const Op op = makeOp(OpKind::MatMul, 1, 8, 16, 4);
+    EXPECT_EQ(op.bytesIn(2), (8 * 16 + 16 * 4) * 2u);
+    EXPECT_EQ(op.bytesOut(2), 8 * 4 * 2u);
+}
+
+TEST(Op, OutputElems)
+{
+    EXPECT_EQ(makeOp(OpKind::Bmm, 3, 5, 7, 2).outputElems(), 30u);
+    EXPECT_EQ(makeOp(OpKind::Exp, 2, 4, 0, 4).outputElems(), 32u);
+}
+
+TEST(Op, CategoriesMatchFigure3Buckets)
+{
+    EXPECT_EQ(makeOp(OpKind::MatMul, 1, 1, 1, 1).category(),
+              OpCategory::MatMul);
+    EXPECT_EQ(makeOp(OpKind::Bmm, 1, 1, 1, 1).category(),
+              OpCategory::BatchedMatMul);
+    EXPECT_EQ(makeOp(OpKind::Exp, 1, 1, 0, 1).category(),
+              OpCategory::Softmax);
+    EXPECT_EQ(makeOp(OpKind::SoftmaxHost, 1, 1, 0, 1).category(),
+              OpCategory::Softmax);
+    EXPECT_EQ(makeOp(OpKind::Gelu, 1, 1, 0, 1).category(),
+              OpCategory::Gelu);
+    EXPECT_EQ(makeOp(OpKind::MulAdd, 1, 1, 0, 1).category(),
+              OpCategory::MatAdd);
+    EXPECT_EQ(makeOp(OpKind::MatDiv, 1, 1, 0, 1).category(),
+              OpCategory::MatDiv);
+    EXPECT_EQ(makeOp(OpKind::LayerNorm, 1, 1, 0, 1).category(),
+              OpCategory::Other);
+    EXPECT_EQ(makeOp(OpKind::Transpose, 1, 1, 0, 1).category(),
+              OpCategory::Other);
+    EXPECT_EQ(makeOp(OpKind::Embed, 1, 1, 0, 1).category(),
+              OpCategory::Other);
+}
+
+TEST(Op, DescribeMentionsKindAndShape)
+{
+    Op op = makeOp(OpKind::MatMul, 1, 64, 768, 768);
+    op.sublayer = Sublayer::Attention;
+    op.layer = 3;
+    const std::string text = op.describe();
+    EXPECT_NE(text.find("MatMul"), std::string::npos);
+    EXPECT_NE(text.find("64x768x768"), std::string::npos);
+    EXPECT_NE(text.find("L3"), std::string::npos);
+}
+
+TEST(Op, ToStringCoversAllEnums)
+{
+    EXPECT_STREQ(toString(OpKind::SoftmaxHost), "SoftmaxHost");
+    EXPECT_STREQ(toString(Sublayer::Intermediate), "Intermediate");
+    EXPECT_STREQ(toString(OpCategory::BatchedMatMul), "Batched Mat Mul");
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,72 @@
+/** @file Tests for the op-trace recorder and its aggregates. */
+
+#include <gtest/gtest.h>
+
+#include "trace/op_trace.hh"
+
+namespace prose {
+namespace {
+
+TEST(OpTrace, RecordAndQuery)
+{
+    OpTrace trace;
+    EXPECT_TRUE(trace.empty());
+    trace.record(OpKind::MatMul, Sublayer::Attention, 0, 1, 4, 4, 4);
+    trace.record(OpKind::Gelu, Sublayer::Intermediate, 0, 1, 4, 0, 4);
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.at(0).kind, OpKind::MatMul);
+    EXPECT_EQ(trace.at(1).sublayer, Sublayer::Intermediate);
+}
+
+TEST(OpTrace, TotalFlopsSums)
+{
+    OpTrace trace;
+    trace.record(OpKind::MatMul, Sublayer::Attention, 0, 1, 2, 3, 4);
+    trace.record(OpKind::MatMul, Sublayer::Attention, 0, 1, 2, 3, 4);
+    EXPECT_DOUBLE_EQ(trace.totalFlops(), 2 * 2.0 * 2 * 3 * 4);
+}
+
+TEST(OpTrace, FlopsByCategorySplits)
+{
+    OpTrace trace;
+    trace.record(OpKind::MatMul, Sublayer::Attention, 0, 1, 2, 2, 2);
+    trace.record(OpKind::Bmm, Sublayer::Attention, 0, 4, 2, 2, 2);
+    const auto by_cat = trace.flopsByCategory();
+    EXPECT_DOUBLE_EQ(by_cat.at(OpCategory::MatMul), 16.0);
+    EXPECT_DOUBLE_EQ(by_cat.at(OpCategory::BatchedMatMul), 64.0);
+}
+
+TEST(OpTrace, CountByKind)
+{
+    OpTrace trace;
+    trace.record(OpKind::Exp, Sublayer::Attention, 0, 1, 2, 0, 2);
+    trace.record(OpKind::Exp, Sublayer::Attention, 1, 1, 2, 0, 2);
+    trace.record(OpKind::Gelu, Sublayer::Intermediate, 0, 1, 2, 0, 2);
+    const auto counts = trace.countByKind();
+    EXPECT_EQ(counts.at(OpKind::Exp), 2u);
+    EXPECT_EQ(counts.at(OpKind::Gelu), 1u);
+}
+
+TEST(OpTrace, LayerOpsFilter)
+{
+    OpTrace trace;
+    trace.record(OpKind::MatMul, Sublayer::Attention, 0, 1, 2, 2, 2);
+    trace.record(OpKind::MatMul, Sublayer::Attention, 1, 1, 2, 2, 2);
+    trace.record(OpKind::Embed, Sublayer::Embedding, -1, 1, 2, 0, 2);
+    EXPECT_EQ(trace.layerOps(0).size(), 1u);
+    EXPECT_EQ(trace.layerOps(1).size(), 1u);
+    EXPECT_EQ(trace.layerOps(-1).size(), 1u);
+}
+
+TEST(OpTrace, BroadcastFlagRecorded)
+{
+    OpTrace trace;
+    trace.record(OpKind::MulAdd, Sublayer::Attention, 0, 1, 8, 0, 8,
+                 true);
+    trace.record(OpKind::MulAdd, Sublayer::Attention, 0, 1, 8, 0, 8);
+    EXPECT_TRUE(trace.at(0).broadcast);
+    EXPECT_FALSE(trace.at(1).broadcast);
+}
+
+} // namespace
+} // namespace prose

@@ -1,0 +1,115 @@
+/** @file Tests for op-trace serialization. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/dataflow.hh"
+#include "trace/trace_io.hh"
+
+namespace prose {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    const OpTrace original =
+        synthesizeBertTrace(BertShape{ 2, 64, 4, 256, 3, 16 });
+    std::ostringstream out;
+    writeTrace(out, original);
+    std::istringstream in(out.str());
+    const OpTrace parsed = readTrace(in);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const Op &a = original.at(i);
+        const Op &b = parsed.at(i);
+        EXPECT_EQ(a.kind, b.kind) << i;
+        EXPECT_EQ(a.sublayer, b.sublayer) << i;
+        EXPECT_EQ(a.layer, b.layer) << i;
+        EXPECT_EQ(a.batch, b.batch) << i;
+        EXPECT_EQ(a.m, b.m) << i;
+        EXPECT_EQ(a.k, b.k) << i;
+        EXPECT_EQ(a.n, b.n) << i;
+        EXPECT_EQ(a.broadcast, b.broadcast) << i;
+    }
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored)
+{
+    std::istringstream in(
+        "# a comment\n"
+        "\n"
+        "MatMul Attention 0 1 8 16 4 0\n"
+        "  # indented comment\n"
+        "MulAdd Attention 0 1 8 0 4 1\n");
+    const OpTrace trace = readTrace(in);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.at(0).kind, OpKind::MatMul);
+    EXPECT_TRUE(trace.at(1).broadcast);
+}
+
+TEST(TraceIo, ParsedTraceBuildsDataflows)
+{
+    // A serialized trace must remain consumable by the whole pipeline.
+    const OpTrace original =
+        synthesizeBertTrace(BertShape{ 1, 64, 4, 256, 1, 8 });
+    std::ostringstream out;
+    writeTrace(out, original);
+    std::istringstream in(out.str());
+    const auto tasks = DataflowBuilder{}.build(readTrace(in));
+    EXPECT_EQ(tasks.size(), DataflowBuilder{}.build(original).size());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    OpTrace empty;
+    std::ostringstream out;
+    writeTrace(out, empty);
+    std::istringstream in(out.str());
+    EXPECT_TRUE(readTrace(in).empty());
+}
+
+TEST(TraceIo, EnumParsersCoverAllValues)
+{
+    for (const char *name :
+         { "MatMul", "BMM", "MulAdd", "MatDiv", "Exp", "SoftmaxHost",
+           "GELU", "LayerNorm", "Embed", "Transpose" }) {
+        EXPECT_STREQ(toString(opKindFromString(name)), name);
+    }
+    for (const char *name : { "Embedding", "Attention", "Intermediate",
+                              "Output", "Downstream" }) {
+        EXPECT_STREQ(toString(sublayerFromString(name)), name);
+    }
+}
+
+TEST(TraceIoDeathTest, UnknownKindIsFatal)
+{
+    std::istringstream in("Conv2D Attention 0 1 8 16 4 0\n");
+    EXPECT_EXIT(readTrace(in), testing::ExitedWithCode(1),
+                "unknown op kind");
+}
+
+TEST(TraceIoDeathTest, MalformedLineIsFatal)
+{
+    std::istringstream in("MatMul Attention 0 1\n");
+    EXPECT_EXIT(readTrace(in), testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(TraceIoDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readTraceFile("/nonexistent/prose.trace"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const OpTrace original =
+        synthesizeBertTrace(BertShape{ 1, 64, 4, 256, 1, 8 });
+    const std::string path = testing::TempDir() + "/prose_trace_test.txt";
+    writeTraceFile(path, original);
+    const OpTrace parsed = readTraceFile(path);
+    EXPECT_EQ(parsed.size(), original.size());
+}
+
+} // namespace
+} // namespace prose
