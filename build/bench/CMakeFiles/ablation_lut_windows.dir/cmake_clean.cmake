@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lut_windows.dir/ablation_lut_windows.cc.o"
+  "CMakeFiles/ablation_lut_windows.dir/ablation_lut_windows.cc.o.d"
+  "ablation_lut_windows"
+  "ablation_lut_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lut_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_per_inference.dir/energy_per_inference.cc.o"
+  "CMakeFiles/energy_per_inference.dir/energy_per_inference.cc.o.d"
+  "energy_per_inference"
+  "energy_per_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_per_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_translation.dir/ext_translation.cc.o"
+  "CMakeFiles/ext_translation.dir/ext_translation.cc.o.d"
+  "ext_translation"
+  "ext_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_efficiency_vs_length.dir/fig01_efficiency_vs_length.cc.o"
+  "CMakeFiles/fig01_efficiency_vs_length.dir/fig01_efficiency_vs_length.cc.o.d"
+  "fig01_efficiency_vs_length"
+  "fig01_efficiency_vs_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_efficiency_vs_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

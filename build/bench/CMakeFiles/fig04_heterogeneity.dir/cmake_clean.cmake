@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_heterogeneity.dir/fig04_heterogeneity.cc.o"
+  "CMakeFiles/fig04_heterogeneity.dir/fig04_heterogeneity.cc.o.d"
+  "fig04_heterogeneity"
+  "fig04_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

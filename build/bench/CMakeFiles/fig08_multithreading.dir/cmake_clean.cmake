@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_multithreading.dir/fig08_multithreading.cc.o"
+  "CMakeFiles/fig08_multithreading.dir/fig08_multithreading.cc.o.d"
+  "fig08_multithreading"
+  "fig08_multithreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_multithreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

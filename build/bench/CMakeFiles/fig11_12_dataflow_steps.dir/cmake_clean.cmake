@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_dataflow_steps.dir/fig11_12_dataflow_steps.cc.o"
+  "CMakeFiles/fig11_12_dataflow_steps.dir/fig11_12_dataflow_steps.cc.o.d"
+  "fig11_12_dataflow_steps"
+  "fig11_12_dataflow_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_dataflow_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

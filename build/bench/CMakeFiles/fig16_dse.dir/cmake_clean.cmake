@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dse.dir/fig16_dse.cc.o"
+  "CMakeFiles/fig16_dse.dir/fig16_dse.cc.o.d"
+  "fig16_dse"
+  "fig16_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_power_efficiency.dir/fig19_power_efficiency.cc.o"
+  "CMakeFiles/fig19_power_efficiency.dir/fig19_power_efficiency.cc.o.d"
+  "fig19_power_efficiency"
+  "fig19_power_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_power_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_roofline.dir/fig20_roofline.cc.o"
+  "CMakeFiles/fig20_roofline.dir/fig20_roofline.cc.o.d"
+  "fig20_roofline"
+  "fig20_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_systolic.dir/micro_systolic.cc.o"
+  "CMakeFiles/micro_systolic.dir/micro_systolic.cc.o.d"
+  "micro_systolic"
+  "micro_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_binding.dir/sec22_binding.cc.o"
+  "CMakeFiles/sec22_binding.dir/sec22_binding.cc.o.d"
+  "sec22_binding"
+  "sec22_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_selected.dir/table4_selected.cc.o"
+  "CMakeFiles/table4_selected.dir/table4_selected.cc.o.d"
+  "table4_selected"
+  "table4_selected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_selected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

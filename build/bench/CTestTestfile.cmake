@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_table2 "/root/repo/build/bench/table2_components")
+set_tests_properties(bench_table2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig13_14 "/root/repo/build/bench/fig13_14_lut_accuracy")
+set_tests_properties(bench_fig13_14 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig11_12 "/root/repo/build/bench/fig11_12_dataflow_steps")
+set_tests_properties(bench_fig11_12 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_batch_scaling "/root/repo/build/bench/batch_scaling")
+set_tests_properties(bench_batch_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

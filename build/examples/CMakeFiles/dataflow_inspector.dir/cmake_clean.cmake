@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_inspector.dir/dataflow_inspector.cc.o"
+  "CMakeFiles/dataflow_inspector.dir/dataflow_inspector.cc.o.d"
+  "dataflow_inspector"
+  "dataflow_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

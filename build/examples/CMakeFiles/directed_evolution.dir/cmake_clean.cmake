@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_evolution.dir/directed_evolution.cc.o"
+  "CMakeFiles/directed_evolution.dir/directed_evolution.cc.o.d"
+  "directed_evolution"
+  "directed_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutational_scan.dir/mutational_scan.cc.o"
+  "CMakeFiles/mutational_scan.dir/mutational_scan.cc.o.d"
+  "mutational_scan"
+  "mutational_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutational_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

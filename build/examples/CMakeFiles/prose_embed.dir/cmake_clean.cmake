@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_embed.dir/prose_embed.cc.o"
+  "CMakeFiles/prose_embed.dir/prose_embed.cc.o.d"
+  "prose_embed"
+  "prose_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_sim.dir/prose_sim.cc.o"
+  "CMakeFiles/prose_sim.dir/prose_sim.cc.o.d"
+  "prose_sim"
+  "prose_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_binding.dir/protein_binding.cc.o"
+  "CMakeFiles/protein_binding.dir/protein_binding.cc.o.d"
+  "protein_binding"
+  "protein_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

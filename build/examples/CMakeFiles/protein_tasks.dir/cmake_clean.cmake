@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_tasks.dir/protein_tasks.cc.o"
+  "CMakeFiles/protein_tasks.dir/protein_tasks.cc.o.d"
+  "protein_tasks"
+  "protein_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

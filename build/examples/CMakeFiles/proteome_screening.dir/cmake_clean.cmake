@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteome_screening.dir/proteome_screening.cc.o"
+  "CMakeFiles/proteome_screening.dir/proteome_screening.cc.o.d"
+  "proteome_screening"
+  "proteome_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteome_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

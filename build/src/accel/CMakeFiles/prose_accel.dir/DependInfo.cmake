@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/batcher.cc" "src/accel/CMakeFiles/prose_accel.dir/batcher.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/batcher.cc.o.d"
+  "/root/repo/src/accel/energy_report.cc" "src/accel/CMakeFiles/prose_accel.dir/energy_report.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/energy_report.cc.o.d"
+  "/root/repo/src/accel/gantt.cc" "src/accel/CMakeFiles/prose_accel.dir/gantt.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/gantt.cc.o.d"
+  "/root/repo/src/accel/host_model.cc" "src/accel/CMakeFiles/prose_accel.dir/host_model.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/host_model.cc.o.d"
+  "/root/repo/src/accel/link_model.cc" "src/accel/CMakeFiles/prose_accel.dir/link_model.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/link_model.cc.o.d"
+  "/root/repo/src/accel/mix_parse.cc" "src/accel/CMakeFiles/prose_accel.dir/mix_parse.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/mix_parse.cc.o.d"
+  "/root/repo/src/accel/perf_sim.cc" "src/accel/CMakeFiles/prose_accel.dir/perf_sim.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/perf_sim.cc.o.d"
+  "/root/repo/src/accel/prose_config.cc" "src/accel/CMakeFiles/prose_accel.dir/prose_config.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/prose_config.cc.o.d"
+  "/root/repo/src/accel/roofline.cc" "src/accel/CMakeFiles/prose_accel.dir/roofline.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/roofline.cc.o.d"
+  "/root/repo/src/accel/schedule_analysis.cc" "src/accel/CMakeFiles/prose_accel.dir/schedule_analysis.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/schedule_analysis.cc.o.d"
+  "/root/repo/src/accel/system.cc" "src/accel/CMakeFiles/prose_accel.dir/system.cc.o" "gcc" "src/accel/CMakeFiles/prose_accel.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systolic/CMakeFiles/prose_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/prose_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

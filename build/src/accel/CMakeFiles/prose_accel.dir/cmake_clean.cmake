@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_accel.dir/batcher.cc.o"
+  "CMakeFiles/prose_accel.dir/batcher.cc.o.d"
+  "CMakeFiles/prose_accel.dir/energy_report.cc.o"
+  "CMakeFiles/prose_accel.dir/energy_report.cc.o.d"
+  "CMakeFiles/prose_accel.dir/gantt.cc.o"
+  "CMakeFiles/prose_accel.dir/gantt.cc.o.d"
+  "CMakeFiles/prose_accel.dir/host_model.cc.o"
+  "CMakeFiles/prose_accel.dir/host_model.cc.o.d"
+  "CMakeFiles/prose_accel.dir/link_model.cc.o"
+  "CMakeFiles/prose_accel.dir/link_model.cc.o.d"
+  "CMakeFiles/prose_accel.dir/mix_parse.cc.o"
+  "CMakeFiles/prose_accel.dir/mix_parse.cc.o.d"
+  "CMakeFiles/prose_accel.dir/perf_sim.cc.o"
+  "CMakeFiles/prose_accel.dir/perf_sim.cc.o.d"
+  "CMakeFiles/prose_accel.dir/prose_config.cc.o"
+  "CMakeFiles/prose_accel.dir/prose_config.cc.o.d"
+  "CMakeFiles/prose_accel.dir/roofline.cc.o"
+  "CMakeFiles/prose_accel.dir/roofline.cc.o.d"
+  "CMakeFiles/prose_accel.dir/schedule_analysis.cc.o"
+  "CMakeFiles/prose_accel.dir/schedule_analysis.cc.o.d"
+  "CMakeFiles/prose_accel.dir/system.cc.o"
+  "CMakeFiles/prose_accel.dir/system.cc.o.d"
+  "libprose_accel.a"
+  "libprose_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

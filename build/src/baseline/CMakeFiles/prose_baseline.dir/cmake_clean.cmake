@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_baseline.dir/comparison.cc.o"
+  "CMakeFiles/prose_baseline.dir/comparison.cc.o.d"
+  "CMakeFiles/prose_baseline.dir/platform.cc.o"
+  "CMakeFiles/prose_baseline.dir/platform.cc.o.d"
+  "CMakeFiles/prose_baseline.dir/tpu_dataflow.cc.o"
+  "CMakeFiles/prose_baseline.dir/tpu_dataflow.cc.o.d"
+  "libprose_baseline.a"
+  "libprose_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_common.dir/logging.cc.o"
+  "CMakeFiles/prose_common.dir/logging.cc.o.d"
+  "CMakeFiles/prose_common.dir/random.cc.o"
+  "CMakeFiles/prose_common.dir/random.cc.o.d"
+  "CMakeFiles/prose_common.dir/stats.cc.o"
+  "CMakeFiles/prose_common.dir/stats.cc.o.d"
+  "CMakeFiles/prose_common.dir/strutil.cc.o"
+  "CMakeFiles/prose_common.dir/strutil.cc.o.d"
+  "CMakeFiles/prose_common.dir/table.cc.o"
+  "CMakeFiles/prose_common.dir/table.cc.o.d"
+  "libprose_common.a"
+  "libprose_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

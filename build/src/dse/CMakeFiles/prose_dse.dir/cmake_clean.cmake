@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_dse.dir/config_space.cc.o"
+  "CMakeFiles/prose_dse.dir/config_space.cc.o.d"
+  "CMakeFiles/prose_dse.dir/dse_engine.cc.o"
+  "CMakeFiles/prose_dse.dir/dse_engine.cc.o.d"
+  "libprose_dse.a"
+  "libprose_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/bert_config.cc" "src/model/CMakeFiles/prose_model.dir/bert_config.cc.o" "gcc" "src/model/CMakeFiles/prose_model.dir/bert_config.cc.o.d"
+  "/root/repo/src/model/bert_model.cc" "src/model/CMakeFiles/prose_model.dir/bert_model.cc.o" "gcc" "src/model/CMakeFiles/prose_model.dir/bert_model.cc.o.d"
+  "/root/repo/src/model/downstream.cc" "src/model/CMakeFiles/prose_model.dir/downstream.cc.o" "gcc" "src/model/CMakeFiles/prose_model.dir/downstream.cc.o.d"
+  "/root/repo/src/model/mlm_head.cc" "src/model/CMakeFiles/prose_model.dir/mlm_head.cc.o" "gcc" "src/model/CMakeFiles/prose_model.dir/mlm_head.cc.o.d"
+  "/root/repo/src/model/tokenizer.cc" "src/model/CMakeFiles/prose_model.dir/tokenizer.cc.o" "gcc" "src/model/CMakeFiles/prose_model.dir/tokenizer.cc.o.d"
+  "/root/repo/src/model/weights.cc" "src/model/CMakeFiles/prose_model.dir/weights.cc.o" "gcc" "src/model/CMakeFiles/prose_model.dir/weights.cc.o.d"
+  "/root/repo/src/model/weights_io.cc" "src/model/CMakeFiles/prose_model.dir/weights_io.cc.o" "gcc" "src/model/CMakeFiles/prose_model.dir/weights_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_model.dir/bert_config.cc.o"
+  "CMakeFiles/prose_model.dir/bert_config.cc.o.d"
+  "CMakeFiles/prose_model.dir/bert_model.cc.o"
+  "CMakeFiles/prose_model.dir/bert_model.cc.o.d"
+  "CMakeFiles/prose_model.dir/downstream.cc.o"
+  "CMakeFiles/prose_model.dir/downstream.cc.o.d"
+  "CMakeFiles/prose_model.dir/mlm_head.cc.o"
+  "CMakeFiles/prose_model.dir/mlm_head.cc.o.d"
+  "CMakeFiles/prose_model.dir/tokenizer.cc.o"
+  "CMakeFiles/prose_model.dir/tokenizer.cc.o.d"
+  "CMakeFiles/prose_model.dir/weights.cc.o"
+  "CMakeFiles/prose_model.dir/weights.cc.o.d"
+  "CMakeFiles/prose_model.dir/weights_io.cc.o"
+  "CMakeFiles/prose_model.dir/weights_io.cc.o.d"
+  "libprose_model.a"
+  "libprose_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprose_model.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/activations.cc" "src/numerics/CMakeFiles/prose_numerics.dir/activations.cc.o" "gcc" "src/numerics/CMakeFiles/prose_numerics.dir/activations.cc.o.d"
+  "/root/repo/src/numerics/bfloat16.cc" "src/numerics/CMakeFiles/prose_numerics.dir/bfloat16.cc.o" "gcc" "src/numerics/CMakeFiles/prose_numerics.dir/bfloat16.cc.o.d"
+  "/root/repo/src/numerics/host_kernels.cc" "src/numerics/CMakeFiles/prose_numerics.dir/host_kernels.cc.o" "gcc" "src/numerics/CMakeFiles/prose_numerics.dir/host_kernels.cc.o.d"
+  "/root/repo/src/numerics/linalg.cc" "src/numerics/CMakeFiles/prose_numerics.dir/linalg.cc.o" "gcc" "src/numerics/CMakeFiles/prose_numerics.dir/linalg.cc.o.d"
+  "/root/repo/src/numerics/lut.cc" "src/numerics/CMakeFiles/prose_numerics.dir/lut.cc.o" "gcc" "src/numerics/CMakeFiles/prose_numerics.dir/lut.cc.o.d"
+  "/root/repo/src/numerics/matrix.cc" "src/numerics/CMakeFiles/prose_numerics.dir/matrix.cc.o" "gcc" "src/numerics/CMakeFiles/prose_numerics.dir/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_numerics.dir/activations.cc.o"
+  "CMakeFiles/prose_numerics.dir/activations.cc.o.d"
+  "CMakeFiles/prose_numerics.dir/bfloat16.cc.o"
+  "CMakeFiles/prose_numerics.dir/bfloat16.cc.o.d"
+  "CMakeFiles/prose_numerics.dir/host_kernels.cc.o"
+  "CMakeFiles/prose_numerics.dir/host_kernels.cc.o.d"
+  "CMakeFiles/prose_numerics.dir/linalg.cc.o"
+  "CMakeFiles/prose_numerics.dir/linalg.cc.o.d"
+  "CMakeFiles/prose_numerics.dir/lut.cc.o"
+  "CMakeFiles/prose_numerics.dir/lut.cc.o.d"
+  "CMakeFiles/prose_numerics.dir/matrix.cc.o"
+  "CMakeFiles/prose_numerics.dir/matrix.cc.o.d"
+  "libprose_numerics.a"
+  "libprose_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_power.dir/component_db.cc.o"
+  "CMakeFiles/prose_power.dir/component_db.cc.o.d"
+  "CMakeFiles/prose_power.dir/power_model.cc.o"
+  "CMakeFiles/prose_power.dir/power_model.cc.o.d"
+  "libprose_power.a"
+  "libprose_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

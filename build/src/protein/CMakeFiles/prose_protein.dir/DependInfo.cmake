@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protein/amino_acid.cc" "src/protein/CMakeFiles/prose_protein.dir/amino_acid.cc.o" "gcc" "src/protein/CMakeFiles/prose_protein.dir/amino_acid.cc.o.d"
+  "/root/repo/src/protein/binding.cc" "src/protein/CMakeFiles/prose_protein.dir/binding.cc.o" "gcc" "src/protein/CMakeFiles/prose_protein.dir/binding.cc.o.d"
+  "/root/repo/src/protein/fasta.cc" "src/protein/CMakeFiles/prose_protein.dir/fasta.cc.o" "gcc" "src/protein/CMakeFiles/prose_protein.dir/fasta.cc.o.d"
+  "/root/repo/src/protein/mutation_scan.cc" "src/protein/CMakeFiles/prose_protein.dir/mutation_scan.cc.o" "gcc" "src/protein/CMakeFiles/prose_protein.dir/mutation_scan.cc.o.d"
+  "/root/repo/src/protein/proteome.cc" "src/protein/CMakeFiles/prose_protein.dir/proteome.cc.o" "gcc" "src/protein/CMakeFiles/prose_protein.dir/proteome.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/prose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_protein.dir/amino_acid.cc.o"
+  "CMakeFiles/prose_protein.dir/amino_acid.cc.o.d"
+  "CMakeFiles/prose_protein.dir/binding.cc.o"
+  "CMakeFiles/prose_protein.dir/binding.cc.o.d"
+  "CMakeFiles/prose_protein.dir/fasta.cc.o"
+  "CMakeFiles/prose_protein.dir/fasta.cc.o.d"
+  "CMakeFiles/prose_protein.dir/mutation_scan.cc.o"
+  "CMakeFiles/prose_protein.dir/mutation_scan.cc.o.d"
+  "CMakeFiles/prose_protein.dir/proteome.cc.o"
+  "CMakeFiles/prose_protein.dir/proteome.cc.o.d"
+  "libprose_protein.a"
+  "libprose_protein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_protein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

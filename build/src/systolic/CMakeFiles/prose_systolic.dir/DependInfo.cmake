@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/array_config.cc" "src/systolic/CMakeFiles/prose_systolic.dir/array_config.cc.o" "gcc" "src/systolic/CMakeFiles/prose_systolic.dir/array_config.cc.o.d"
+  "/root/repo/src/systolic/functional_sim.cc" "src/systolic/CMakeFiles/prose_systolic.dir/functional_sim.cc.o" "gcc" "src/systolic/CMakeFiles/prose_systolic.dir/functional_sim.cc.o.d"
+  "/root/repo/src/systolic/provisioning.cc" "src/systolic/CMakeFiles/prose_systolic.dir/provisioning.cc.o" "gcc" "src/systolic/CMakeFiles/prose_systolic.dir/provisioning.cc.o.d"
+  "/root/repo/src/systolic/stream_buffer.cc" "src/systolic/CMakeFiles/prose_systolic.dir/stream_buffer.cc.o" "gcc" "src/systolic/CMakeFiles/prose_systolic.dir/stream_buffer.cc.o.d"
+  "/root/repo/src/systolic/systolic_array.cc" "src/systolic/CMakeFiles/prose_systolic.dir/systolic_array.cc.o" "gcc" "src/systolic/CMakeFiles/prose_systolic.dir/systolic_array.cc.o.d"
+  "/root/repo/src/systolic/timing_model.cc" "src/systolic/CMakeFiles/prose_systolic.dir/timing_model.cc.o" "gcc" "src/systolic/CMakeFiles/prose_systolic.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_systolic.dir/array_config.cc.o"
+  "CMakeFiles/prose_systolic.dir/array_config.cc.o.d"
+  "CMakeFiles/prose_systolic.dir/functional_sim.cc.o"
+  "CMakeFiles/prose_systolic.dir/functional_sim.cc.o.d"
+  "CMakeFiles/prose_systolic.dir/provisioning.cc.o"
+  "CMakeFiles/prose_systolic.dir/provisioning.cc.o.d"
+  "CMakeFiles/prose_systolic.dir/stream_buffer.cc.o"
+  "CMakeFiles/prose_systolic.dir/stream_buffer.cc.o.d"
+  "CMakeFiles/prose_systolic.dir/systolic_array.cc.o"
+  "CMakeFiles/prose_systolic.dir/systolic_array.cc.o.d"
+  "CMakeFiles/prose_systolic.dir/timing_model.cc.o"
+  "CMakeFiles/prose_systolic.dir/timing_model.cc.o.d"
+  "libprose_systolic.a"
+  "libprose_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

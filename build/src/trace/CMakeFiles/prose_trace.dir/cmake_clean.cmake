@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_trace.dir/dataflow.cc.o"
+  "CMakeFiles/prose_trace.dir/dataflow.cc.o.d"
+  "CMakeFiles/prose_trace.dir/op.cc.o"
+  "CMakeFiles/prose_trace.dir/op.cc.o.d"
+  "CMakeFiles/prose_trace.dir/op_trace.cc.o"
+  "CMakeFiles/prose_trace.dir/op_trace.cc.o.d"
+  "CMakeFiles/prose_trace.dir/trace_io.cc.o"
+  "CMakeFiles/prose_trace.dir/trace_io.cc.o.d"
+  "libprose_trace.a"
+  "libprose_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

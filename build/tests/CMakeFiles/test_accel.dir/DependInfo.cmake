@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel/test_batcher.cc" "tests/CMakeFiles/test_accel.dir/accel/test_batcher.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_batcher.cc.o.d"
+  "/root/repo/tests/accel/test_energy_report.cc" "tests/CMakeFiles/test_accel.dir/accel/test_energy_report.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_energy_report.cc.o.d"
+  "/root/repo/tests/accel/test_gantt.cc" "tests/CMakeFiles/test_accel.dir/accel/test_gantt.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_gantt.cc.o.d"
+  "/root/repo/tests/accel/test_host_model.cc" "tests/CMakeFiles/test_accel.dir/accel/test_host_model.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_host_model.cc.o.d"
+  "/root/repo/tests/accel/test_link_model.cc" "tests/CMakeFiles/test_accel.dir/accel/test_link_model.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_link_model.cc.o.d"
+  "/root/repo/tests/accel/test_mix_parse.cc" "tests/CMakeFiles/test_accel.dir/accel/test_mix_parse.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_mix_parse.cc.o.d"
+  "/root/repo/tests/accel/test_perf_sim.cc" "tests/CMakeFiles/test_accel.dir/accel/test_perf_sim.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_perf_sim.cc.o.d"
+  "/root/repo/tests/accel/test_perf_sim_param.cc" "tests/CMakeFiles/test_accel.dir/accel/test_perf_sim_param.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_perf_sim_param.cc.o.d"
+  "/root/repo/tests/accel/test_prose_config.cc" "tests/CMakeFiles/test_accel.dir/accel/test_prose_config.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_prose_config.cc.o.d"
+  "/root/repo/tests/accel/test_roofline.cc" "tests/CMakeFiles/test_accel.dir/accel/test_roofline.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_roofline.cc.o.d"
+  "/root/repo/tests/accel/test_schedule_analysis.cc" "tests/CMakeFiles/test_accel.dir/accel/test_schedule_analysis.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_schedule_analysis.cc.o.d"
+  "/root/repo/tests/accel/test_system.cc" "tests/CMakeFiles/test_accel.dir/accel/test_system.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/prose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/prose_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/prose_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/prose_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/prose_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/prose_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/prose_protein.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/accel/test_batcher.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_batcher.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_energy_report.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_energy_report.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_gantt.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_gantt.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_host_model.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_host_model.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_link_model.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_link_model.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_mix_parse.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_mix_parse.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_perf_sim.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_perf_sim.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_perf_sim_param.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_perf_sim_param.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_prose_config.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_prose_config.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_roofline.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_roofline.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_schedule_analysis.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_schedule_analysis.cc.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_system.cc.o"
+  "CMakeFiles/test_accel.dir/accel/test_system.cc.o.d"
+  "test_accel"
+  "test_accel.pdb"
+  "test_accel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_logging.cc" "tests/CMakeFiles/test_common.dir/common/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_logging.cc.o.d"
+  "/root/repo/tests/common/test_random.cc" "tests/CMakeFiles/test_common.dir/common/test_random.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_random.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/common/test_strutil.cc" "tests/CMakeFiles/test_common.dir/common/test_strutil.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_strutil.cc.o.d"
+  "/root/repo/tests/common/test_table.cc" "tests/CMakeFiles/test_common.dir/common/test_table.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/prose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/prose_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/prose_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/prose_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/prose_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/prose_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/prose_protein.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

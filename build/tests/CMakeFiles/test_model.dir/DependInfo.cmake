@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_bert_config.cc" "tests/CMakeFiles/test_model.dir/model/test_bert_config.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_bert_config.cc.o.d"
+  "/root/repo/tests/model/test_bert_model.cc" "tests/CMakeFiles/test_model.dir/model/test_bert_model.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_bert_model.cc.o.d"
+  "/root/repo/tests/model/test_downstream.cc" "tests/CMakeFiles/test_model.dir/model/test_downstream.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_downstream.cc.o.d"
+  "/root/repo/tests/model/test_mlm_head.cc" "tests/CMakeFiles/test_model.dir/model/test_mlm_head.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_mlm_head.cc.o.d"
+  "/root/repo/tests/model/test_tokenizer.cc" "tests/CMakeFiles/test_model.dir/model/test_tokenizer.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_tokenizer.cc.o.d"
+  "/root/repo/tests/model/test_weights.cc" "tests/CMakeFiles/test_model.dir/model/test_weights.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_weights.cc.o.d"
+  "/root/repo/tests/model/test_weights_io.cc" "tests/CMakeFiles/test_model.dir/model/test_weights_io.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_weights_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/prose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/prose_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/prose_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/prose_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/prose_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/prose_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/prose_protein.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

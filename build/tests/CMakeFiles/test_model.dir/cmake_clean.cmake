@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_bert_config.cc.o"
+  "CMakeFiles/test_model.dir/model/test_bert_config.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_bert_model.cc.o"
+  "CMakeFiles/test_model.dir/model/test_bert_model.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_downstream.cc.o"
+  "CMakeFiles/test_model.dir/model/test_downstream.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_mlm_head.cc.o"
+  "CMakeFiles/test_model.dir/model/test_mlm_head.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_tokenizer.cc.o"
+  "CMakeFiles/test_model.dir/model/test_tokenizer.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_weights.cc.o"
+  "CMakeFiles/test_model.dir/model/test_weights.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_weights_io.cc.o"
+  "CMakeFiles/test_model.dir/model/test_weights_io.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics.dir/numerics/test_activations.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_activations.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_bfloat16.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_bfloat16.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_host_kernels.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_host_kernels.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_linalg.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_linalg.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_lut.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_lut.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_matrix.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_matrix.cc.o.d"
+  "test_numerics"
+  "test_numerics.pdb"
+  "test_numerics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

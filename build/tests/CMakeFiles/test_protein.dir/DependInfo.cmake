@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protein/test_amino_acid.cc" "tests/CMakeFiles/test_protein.dir/protein/test_amino_acid.cc.o" "gcc" "tests/CMakeFiles/test_protein.dir/protein/test_amino_acid.cc.o.d"
+  "/root/repo/tests/protein/test_binding.cc" "tests/CMakeFiles/test_protein.dir/protein/test_binding.cc.o" "gcc" "tests/CMakeFiles/test_protein.dir/protein/test_binding.cc.o.d"
+  "/root/repo/tests/protein/test_fasta.cc" "tests/CMakeFiles/test_protein.dir/protein/test_fasta.cc.o" "gcc" "tests/CMakeFiles/test_protein.dir/protein/test_fasta.cc.o.d"
+  "/root/repo/tests/protein/test_mutation_scan.cc" "tests/CMakeFiles/test_protein.dir/protein/test_mutation_scan.cc.o" "gcc" "tests/CMakeFiles/test_protein.dir/protein/test_mutation_scan.cc.o.d"
+  "/root/repo/tests/protein/test_proteome.cc" "tests/CMakeFiles/test_protein.dir/protein/test_proteome.cc.o" "gcc" "tests/CMakeFiles/test_protein.dir/protein/test_proteome.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/prose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/prose_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/prose_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/prose_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/prose_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/prose_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/prose_protein.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

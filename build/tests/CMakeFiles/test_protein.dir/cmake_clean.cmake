@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protein.dir/protein/test_amino_acid.cc.o"
+  "CMakeFiles/test_protein.dir/protein/test_amino_acid.cc.o.d"
+  "CMakeFiles/test_protein.dir/protein/test_binding.cc.o"
+  "CMakeFiles/test_protein.dir/protein/test_binding.cc.o.d"
+  "CMakeFiles/test_protein.dir/protein/test_fasta.cc.o"
+  "CMakeFiles/test_protein.dir/protein/test_fasta.cc.o.d"
+  "CMakeFiles/test_protein.dir/protein/test_mutation_scan.cc.o"
+  "CMakeFiles/test_protein.dir/protein/test_mutation_scan.cc.o.d"
+  "CMakeFiles/test_protein.dir/protein/test_proteome.cc.o"
+  "CMakeFiles/test_protein.dir/protein/test_proteome.cc.o.d"
+  "test_protein"
+  "test_protein.pdb"
+  "test_protein[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

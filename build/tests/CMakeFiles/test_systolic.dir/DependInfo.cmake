@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/systolic/test_array_config.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_array_config.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_array_config.cc.o.d"
+  "/root/repo/tests/systolic/test_functional_sim.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_functional_sim.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_functional_sim.cc.o.d"
+  "/root/repo/tests/systolic/test_param_sweeps.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_param_sweeps.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_param_sweeps.cc.o.d"
+  "/root/repo/tests/systolic/test_provisioning.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_provisioning.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_provisioning.cc.o.d"
+  "/root/repo/tests/systolic/test_simd_mode.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_simd_mode.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_simd_mode.cc.o.d"
+  "/root/repo/tests/systolic/test_stream_buffer.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_stream_buffer.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_stream_buffer.cc.o.d"
+  "/root/repo/tests/systolic/test_systolic_array.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_systolic_array.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_systolic_array.cc.o.d"
+  "/root/repo/tests/systolic/test_timing_model.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_timing_model.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prose_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/prose_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/prose_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/prose_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/prose_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/prose_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/prose_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/prose_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/prose_protein.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic.dir/systolic/test_array_config.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_array_config.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_functional_sim.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_functional_sim.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_param_sweeps.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_param_sweeps.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_provisioning.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_provisioning.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_simd_mode.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_simd_mode.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_stream_buffer.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_stream_buffer.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_systolic_array.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_systolic_array.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_timing_model.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_timing_model.cc.o.d"
+  "test_systolic"
+  "test_systolic.pdb"
+  "test_systolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

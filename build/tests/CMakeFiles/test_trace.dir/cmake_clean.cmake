@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_dataflow.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_dataflow.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_decoder_trace.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_decoder_trace.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_op.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_op.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_op_trace.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_op_trace.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_random_traces.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_random_traces.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
