@@ -51,6 +51,16 @@ LinkSpec::paperSweep()
              infinite() };
 }
 
+std::string
+LinkSpec::describe() const
+{
+    std::ostringstream os;
+    os << name << " (" << totalBytesPerSecond / gbps(1.0) << " GB/s, "
+       << lanes << " lanes, timeout " << timeoutDetectSeconds * 1e6
+       << " us)";
+    return os.str();
+}
+
 std::uint32_t
 LanePartition::lanesFor(ArrayType type) const
 {

@@ -27,11 +27,21 @@ struct LinkSpec
     double totalBytesPerSecond = gbps(270.0);
     std::uint32_t lanes = 6;
 
+    /**
+     * Time for the link layer to declare a hung transfer dead and hand
+     * it back for retry (watchdog granularity). Charged once per
+     * injected timeout fault by the performance simulator.
+     */
+    double timeoutDetectSeconds = 50e-6;
+
     /** Bandwidth of one lane. */
     double laneBytesPerSecond() const
     {
         return totalBytesPerSecond / lanes;
     }
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
 
     /** NVLink 2.0 at 80% achievable: 240 GB/s over 6 lanes. */
     static LinkSpec nvlink2At80();

@@ -1,11 +1,29 @@
 #include "perf_sim.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.hh"
 
 namespace prose {
+
+namespace {
+
+/** Campaign site code of an array type ('M', 'G', 'E'). */
+char
+typeCode(ArrayType type)
+{
+    return toString(type)[0];
+}
+
+} // namespace
+
+double
+RetryPolicy::delayFor(std::uint32_t retry) const
+{
+    return backoffSeconds * std::pow(backoffFactor, retry);
+}
 
 ArrayType
 arrayTypeFor(DataflowKind kind)
@@ -245,19 +263,63 @@ PerfSim::runTasks(
             report.hostBusySeconds += duration;
         } else {
             const std::size_t idx = static_cast<std::size_t>(best_array);
+            const ArrayType type = pool_geometry[idx]->type;
+            // Failover: tasks only ever map onto surviving pool
+            // members, so a killed array degrades the pool's aggregate
+            // compute rate instead of wedging the schedule.
+            std::uint32_t alive = report.typeCounts[idx];
+            if (options_.injector) {
+                const std::uint32_t dead =
+                    options_.injector->deadArrays(typeCode(type),
+                                                  best_start);
+                if (dead >= alive)
+                    fatal("fault campaign killed every ",
+                          toString(type), "-type array by t=",
+                          best_start, "s; nothing left to fail over to");
+                alive -= dead;
+            }
             TaskCost cost;
             const TaskSeconds seconds = accelTaskSeconds(
-                task, *pool_geometry[idx], report.typeCounts[idx],
-                pool_bw[idx], cost);
-            duration = seconds.arraySeconds + seconds.threadExtraSeconds;
+                task, *pool_geometry[idx], alive, pool_bw[idx], cost);
+            // Link-fault recovery: every faulted attempt charges its
+            // detection cost (timeouts) plus exponential backoff and a
+            // full re-stream/re-run of the task.
+            double fault_extra = 0.0;
+            if (options_.injector) {
+                for (std::uint32_t attempt = 0;; ++attempt) {
+                    const FaultInjector::LinkOutcome outcome =
+                        options_.injector->sampleLinkTransfer(
+                            typeCode(type));
+                    if (!outcome.faulty())
+                        break;
+                    if (outcome.timeout) {
+                        ++report.linkTimeouts;
+                        fault_extra +=
+                            config_.link.timeoutDetectSeconds;
+                    } else {
+                        ++report.linkTransferErrors;
+                    }
+                    if (attempt + 1 >= options_.retry.maxAttempts) {
+                        ++report.abandonedTransfers;
+                        break;
+                    }
+                    ++report.taskRetries;
+                    fault_extra += options_.retry.delayFor(attempt) +
+                                   seconds.arraySeconds;
+                }
+            }
+            duration = seconds.arraySeconds + fault_extra +
+                       seconds.threadExtraSeconds;
             // The dispatching thread holds the type's I/O buffer mutex
             // while it sets up the transfer; the pool is released as
             // soon as its occupancy ends (the host-softmax tail of a
             // Dataflow 3 only blocks the issuing thread).
             io_free[idx] = best_start + options_.ioLockSeconds;
-            pool_free[idx] = best_start + seconds.arraySeconds;
+            pool_free[idx] =
+                best_start + seconds.arraySeconds + fault_extra;
             report.typeBusySeconds[idx] +=
-                seconds.arraySeconds * report.typeCounts[idx];
+                (seconds.arraySeconds + fault_extra) * alive;
+            report.retrySeconds += fault_extra;
             report.bytesIn += cost.bytesIn;
             report.bytesOut += cost.bytesOut;
             report.hostBusySeconds += seconds.threadExtraSeconds;
@@ -290,6 +352,19 @@ PerfSim::runTasks(
         report.cpuDuty = std::min(
             1.0, report.hostBusySeconds /
                      (report.makespan * host_.spec().slots));
+    }
+    if (options_.injector) {
+        for (std::size_t idx = 0; idx < 3; ++idx) {
+            if (report.typeCounts[idx] == 0)
+                continue;
+            const ArrayType type = idx == 0   ? ArrayType::M
+                                   : idx == 1 ? ArrayType::G
+                                              : ArrayType::E;
+            report.deadArrays[idx] = std::min(
+                report.typeCounts[idx],
+                options_.injector->deadArrays(typeCode(type),
+                                              report.makespan));
+        }
     }
     return report;
 }

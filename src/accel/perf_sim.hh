@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "host_model.hh"
 #include "prose_config.hh"
 #include "systolic/timing_model.hh"
@@ -75,6 +76,16 @@ struct SimReport
     /** Optional Gantt records (enabled via SimOptions). */
     std::vector<ScheduledItem> schedule;
 
+    /** @name Fault/recovery accounting (all zero without an injector) @{ */
+    std::uint64_t linkTransferErrors = 0; ///< corrupted transfers seen
+    std::uint64_t linkTimeouts = 0;       ///< hung transfers seen
+    std::uint64_t taskRetries = 0;        ///< re-streamed task attempts
+    std::uint64_t abandonedTransfers = 0; ///< retry budget exhausted
+    double retrySeconds = 0.0;            ///< latency charged to faults
+    /** Arrays per type dead by the end of the run (failover losses). */
+    std::array<std::uint32_t, 3> deadArrays{ { 0, 0, 0 } };
+    /** @} */
+
     /** Sequences per second. */
     double inferencesPerSecond() const;
 
@@ -83,6 +94,22 @@ struct SimReport
 
     /** Achieved FLOP/s. */
     double achievedFlops() const;
+};
+
+/**
+ * Recovery policy for faulted link transfers: exponential backoff
+ * between retries, with a bounded attempt budget. After maxAttempts the
+ * transfer is forced through a degraded path and counted as abandoned
+ * (the run completes; the counter is the alarm).
+ */
+struct RetryPolicy
+{
+    std::uint32_t maxAttempts = 4; ///< first try + up to 3 retries
+    double backoffSeconds = 10e-6; ///< delay before the first retry
+    double backoffFactor = 2.0;    ///< growth per subsequent retry
+
+    /** Backoff delay preceding retry number `retry` (0-based). */
+    double delayFor(std::uint32_t retry) const;
 };
 
 /** Simulator knobs. */
@@ -97,6 +124,17 @@ struct SimOptions
 
     /** Record per-task schedule items (costs memory on big runs). */
     bool recordSchedule = false;
+
+    /**
+     * Optional fault injector (not owned). When set, every accelerator
+     * task samples the campaign's link faults, charges retry latency
+     * per the policy below, and the scheduler fails over around killed
+     * arrays. nullptr reproduces fault-free behavior exactly.
+     */
+    FaultInjector *injector = nullptr;
+
+    /** Recovery policy applied when the injector faults a transfer. */
+    RetryPolicy retry;
 };
 
 /** The discrete-event performance simulator. */

@@ -31,6 +31,13 @@ ProseSystem::ProseSystem(SystemConfig config)
 SystemReport
 ProseSystem::run(const BertShape &shape) const
 {
+    return run(shape, nullptr);
+}
+
+SystemReport
+ProseSystem::run(const BertShape &shape, FaultInjector *injector,
+                 const RetryPolicy &retry) const
+{
     PROSE_ASSERT(shape.batch > 0, "empty batch");
     const std::uint32_t used = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(config_.instanceCount, shape.batch));
@@ -41,27 +48,102 @@ ProseSystem::run(const BertShape &shape) const
     shared.slots = std::max<std::uint32_t>(1, shared.slots / used);
     const HostModel host(shared);
 
+    SimOptions options;
+    options.injector = injector;
+    options.retry = retry;
+
     SystemReport report;
     report.inferences = shape.batch;
     double host_busy = 0.0;
+    std::vector<std::uint64_t> slices(used, 0);
     for (std::uint32_t i = 0; i < used; ++i) {
         BertShape slice = shape;
         slice.batch = shape.batch / used +
                       (i < shape.batch % used ? 1 : 0);
         if (slice.batch == 0)
             continue;
+        slices[i] = slice.batch;
         PerfSim sim(config_.instance,
                     TimingModel(config_.instance.partialInputBuffer),
-                    host);
+                    host, options);
         SimReport instance_report = sim.run(slice);
         report.makespan =
             std::max(report.makespan, instance_report.makespan);
         host_busy += instance_report.hostBusySeconds;
         report.perInstance.push_back(std::move(instance_report));
     }
+    const double healthy_makespan = report.makespan;
+
+    // Degraded-instance operation: when the campaign kills an instance
+    // before it drains its shard, the incomplete inferences are
+    // re-sharded across the survivors as a recovery wave that starts
+    // once the death is detected and the survivors are free.
+    if (injector) {
+        std::uint64_t lost = 0;
+        std::vector<std::uint32_t> survivors;
+        double death_floor = 0.0;
+        for (std::uint32_t i = 0; i < used; ++i) {
+            const double death = injector->instanceKillSeconds(i);
+            const double span = report.perInstance[i].makespan;
+            if (death < span) {
+                ++report.failedInstances;
+                // Uniform-progress model: inferences finished before
+                // the death stay finished, the rest must move.
+                const std::uint64_t done = static_cast<std::uint64_t>(
+                    static_cast<double>(slices[i]) * (death / span));
+                lost += slices[i] - done;
+                death_floor = std::max(death_floor, death);
+            } else {
+                survivors.push_back(i);
+            }
+        }
+        if (report.failedInstances > 0) {
+            if (survivors.empty())
+                fatal("fault campaign killed every ProSE instance; "
+                      "nothing left to re-shard onto");
+            double wave_start = death_floor;
+            for (const std::uint32_t s : survivors)
+                wave_start = std::max(wave_start,
+                                      report.perInstance[s].makespan);
+            HostSpec wave_spec = config_.hostSpec;
+            wave_spec.elemThroughput /=
+                static_cast<double>(survivors.size());
+            wave_spec.slots = std::max<std::uint32_t>(
+                1, wave_spec.slots /
+                       static_cast<std::uint32_t>(survivors.size()));
+            const HostModel wave_host(wave_spec);
+            double wave_max = 0.0;
+            for (std::size_t j = 0; j < survivors.size(); ++j) {
+                BertShape wave_slice = shape;
+                wave_slice.batch =
+                    lost / survivors.size() +
+                    (j < lost % survivors.size() ? 1 : 0);
+                if (wave_slice.batch == 0)
+                    continue;
+                PerfSim sim(
+                    config_.instance,
+                    TimingModel(config_.instance.partialInputBuffer),
+                    wave_host, options);
+                SimReport wave_report = sim.run(wave_slice);
+                wave_max = std::max(wave_max, wave_report.makespan);
+                host_busy += wave_report.hostBusySeconds;
+                report.perInstance.push_back(std::move(wave_report));
+            }
+            report.reshardedInferences = lost;
+            report.reshardSeconds = wave_max;
+            report.makespan = wave_start + wave_max;
+            if (report.makespan > 0.0)
+                report.throughputRetention =
+                    healthy_makespan / report.makespan;
+        }
+        for (const SimReport &inst : report.perInstance) {
+            report.linkTransferErrors += inst.linkTransferErrors;
+            report.linkTimeouts += inst.linkTimeouts;
+            report.taskRetries += inst.taskRetries;
+        }
+    }
 
     // Combined host duty over the whole host's capacity.
-    const HostModel full(config_.hostSpec);
     if (report.makespan > 0.0) {
         report.hostDuty = std::min(
             1.0, host_busy / (report.makespan *

@@ -45,6 +45,22 @@ struct SystemReport
     double hostDuty = 0.0;          ///< combined host capacity fraction
     std::vector<SimReport> perInstance;
 
+    /** @name Degraded-mode accounting (defaults when fault-free) @{ */
+    std::uint32_t failedInstances = 0;  ///< instances killed mid-run
+    std::uint64_t reshardedInferences = 0; ///< work moved to survivors
+    double reshardSeconds = 0.0;    ///< recovery-wave tail duration
+    /**
+     * Throughput kept relative to the same campaign without instance
+     * deaths: healthy makespan / degraded makespan. 1.0 when no
+     * instance died.
+     */
+    double throughputRetention = 1.0;
+    /** Link-fault counters summed over instances and recovery wave. */
+    std::uint64_t linkTransferErrors = 0;
+    std::uint64_t linkTimeouts = 0;
+    std::uint64_t taskRetries = 0;
+    /** @} */
+
     double inferencesPerSecond() const;
     double efficiency() const; ///< inferences/s/W
 };
@@ -61,6 +77,18 @@ class ProseSystem
      * does. Host softmax throughput is divided among active instances.
      */
     SystemReport run(const BertShape &shape) const;
+
+    /**
+     * Same sharded run under a fault campaign. Each instance's
+     * simulator samples the campaign's link faults and array kills;
+     * instances the campaign kills mid-run lose their incomplete
+     * inferences, which are re-sharded across the surviving instances
+     * as a recovery wave once the death is detected. The report's
+     * throughputRetention quantifies the loss. A null injector
+     * reproduces run(shape) exactly.
+     */
+    SystemReport run(const BertShape &shape, FaultInjector *injector,
+                     const RetryPolicy &retry = RetryPolicy{}) const;
 
     const SystemConfig &config() const { return config_; }
 

@@ -1,5 +1,8 @@
 #include "logging.hh"
 
+#include <mutex>
+#include <sstream>
+
 namespace prose {
 namespace detail {
 
@@ -28,7 +31,14 @@ emitLog(LogLevel level, const std::string &msg)
         tag = "panic";
         break;
     }
-    std::cerr << tag << ": " << msg << std::endl;
+    // Assemble the whole line first and emit it under a lock as one
+    // write, so concurrent loggers (e.g. the threaded simulators) never
+    // interleave fragments of their lines.
+    std::ostringstream line;
+    line << tag << ": " << msg << '\n';
+    static std::mutex mutex;
+    const std::lock_guard<std::mutex> guard(mutex);
+    std::cerr << line.str() << std::flush;
 }
 
 } // namespace detail

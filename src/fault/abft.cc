@@ -1,0 +1,147 @@
+#include "abft.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "numerics/bfloat16.hh"
+
+namespace prose {
+
+AbftChecker::AbftChecker(AbftOptions options) : options_(options) {}
+
+AbftTileResult
+AbftChecker::checkTile(const Matrix &a, const Matrix &b, Matrix &acc)
+{
+    const std::size_t rows = acc.rows();
+    const std::size_t cols = acc.cols();
+    const std::size_t k = a.cols();
+    PROSE_ASSERT(a.rows() == rows && b.cols() == cols && b.rows() == k,
+                 "ABFT operand/accumulator shape mismatch");
+
+    AbftTileResult result;
+    ++stats_.tilesChecked;
+
+    // Checksum vectors over the bf16-quantized operands the array saw,
+    // accumulated in double so checksum rounding stays far below the
+    // array's own fp32 rounding.
+    std::vector<double> col_sum_b(k, 0.0), abs_col_sum_b(k, 0.0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double v = quantizeBf16(b(kk, j));
+            col_sum_b[kk] += v;
+            abs_col_sum_b[kk] += std::fabs(v);
+        }
+    }
+    std::vector<double> row_sum_a(k, 0.0), abs_row_sum_a(k, 0.0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        for (std::size_t i = 0; i < rows; ++i) {
+            const double v = quantizeBf16(a(i, kk));
+            row_sum_a[kk] += v;
+            abs_row_sum_a[kk] += std::fabs(v);
+        }
+    }
+
+    // Row residuals: actual row sums of C vs a(r,:) . colsum(B).
+    std::vector<double> row_residual(rows, 0.0), row_mass(rows, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        double expected = 0.0, mass = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const double v = quantizeBf16(a(r, kk));
+            expected += v * col_sum_b[kk];
+            mass += std::fabs(v) * abs_col_sum_b[kk];
+        }
+        double actual = 0.0;
+        for (std::size_t j = 0; j < cols; ++j)
+            actual += acc(r, j);
+        row_residual[r] = expected - actual;
+        row_mass[r] = mass;
+        const double thresh = options_.relTolerance * mass;
+        if (!(std::fabs(row_residual[r]) <= thresh))
+            result.suspectRows.push_back(r);
+    }
+
+    // Column residuals: actual column sums vs rowsum(A) . b(:,c).
+    std::vector<double> col_residual(cols, 0.0), col_mass(cols, 0.0);
+    for (std::size_t c = 0; c < cols; ++c) {
+        double expected = 0.0, mass = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const double v = quantizeBf16(b(kk, c));
+            expected += row_sum_a[kk] * v;
+            mass += abs_row_sum_a[kk] * std::fabs(v);
+        }
+        double actual = 0.0;
+        for (std::size_t i = 0; i < rows; ++i)
+            actual += acc(i, c);
+        col_residual[c] = expected - actual;
+        col_mass[c] = mass;
+        const double thresh = options_.relTolerance * mass;
+        if (!(std::fabs(col_residual[c]) <= thresh))
+            result.suspectCols.push_back(c);
+    }
+
+    result.flagged =
+        !result.suspectRows.empty() || !result.suspectCols.empty();
+    if (!result.flagged)
+        return result;
+    ++stats_.tilesFlagged;
+
+    // Locate: a corrupted accumulator leaves the *same* residual in its
+    // row and its column, which disambiguates multi-error tiles.
+    bool any_unlocated = result.suspectRows.empty();
+    std::uint64_t exact = 0, ambiguous = 0;
+    for (const std::size_t r : result.suspectRows) {
+        std::vector<std::size_t> candidates;
+        for (const std::size_t c : result.suspectCols) {
+            const double skew =
+                std::fabs(row_residual[r] - col_residual[c]);
+            const double tol =
+                options_.relTolerance * (row_mass[r] + col_mass[c]);
+            if (skew <= tol)
+                candidates.push_back(c);
+        }
+        // A NaN/Inf residual never residual-matches; with a single
+        // suspect column the assignment is still unambiguous.
+        if (candidates.empty() && result.suspectCols.size() == 1)
+            candidates = result.suspectCols;
+
+        if (candidates.size() == 1) {
+            const std::size_t c = candidates.front();
+            result.located.emplace_back(r, c);
+            ++exact;
+            if (options_.correct) {
+                // Rebuild the cell from its row checksum and the
+                // healthy cells (robust even when the cell is Inf/NaN).
+                double expected = 0.0;
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    expected += static_cast<double>(quantizeBf16(a(r, kk))) *
+                                col_sum_b[kk];
+                double others = 0.0;
+                for (std::size_t j = 0; j < cols; ++j)
+                    if (j != c)
+                        others += acc(r, j);
+                acc(r, c) = static_cast<float>(expected - others);
+                result.corrected.emplace_back(r, c);
+            }
+        } else if (!candidates.empty()) {
+            for (const std::size_t c : candidates) {
+                result.located.emplace_back(r, c);
+                ++ambiguous;
+            }
+        } else if (!result.suspectCols.empty()) {
+            for (const std::size_t c : result.suspectCols) {
+                result.located.emplace_back(r, c);
+                ++ambiguous;
+            }
+        } else {
+            any_unlocated = true;
+        }
+    }
+    if (any_unlocated)
+        ++stats_.unlocatedTiles;
+    stats_.locatedElements += exact;
+    stats_.ambiguousElements += ambiguous;
+    stats_.correctedElements += result.corrected.size();
+    return result;
+}
+
+} // namespace prose

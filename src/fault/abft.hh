@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Algorithm-based fault tolerance (ABFT) for the output-stationary
+ * matmul, after Huang & Abraham (1984). For a tile product C = A x B the
+ * checker recomputes, in double precision over the same bf16-quantized
+ * operands the array saw, the row checksums (each row of C must sum to
+ * a(r,:) . colsum(B)) and column checksums (each column must sum to
+ * rowsum(A) . b(:,c)). A corrupted accumulator shows up as one bad row
+ * sum and one bad column sum, whose intersection *locates* the faulty
+ * PE; the row checksum residual then *corrects* the cell.
+ *
+ * Floating-point checksums need a tolerance: the array accumulates in
+ * fp32 while the checksums use double, so residuals up to about
+ * k * eps_f32 of the row/column absolute mass are legitimate rounding.
+ * The threshold scales with that absolute mass, leaving orders of
+ * magnitude between rounding noise (~1e-7 relative) and the smallest
+ * architecturally visible flip (bf16-mantissa LSB, 2^-7 relative to one
+ * term). Flips below accumulator bit 16 are masked by the truncating
+ * reads of the real hardware and are out of scope by design.
+ */
+
+#ifndef PROSE_FAULT_ABFT_HH
+#define PROSE_FAULT_ABFT_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "numerics/matrix.hh"
+
+namespace prose {
+
+/** ABFT configuration. */
+struct AbftOptions
+{
+    bool enabled = false;
+    /** Repair located cells from the checksum residual. */
+    bool correct = true;
+    /**
+     * Detection threshold as a fraction of the row/col absolute mass.
+     * bf16 x bf16 products are exact in fp32, so the only legitimate
+     * residual is fp32 accumulation rounding — a random walk of order
+     * sqrt(k) * eps_f32 relative to the absolute mass, which stays well
+     * under 1e-8 of the mass for practical depths while the smallest
+     * architecturally visible flip (fp32 bit 16) is 2^-7 of its cell.
+     * 2e-7 keeps ~20x margin against false positives and catches flips
+     * on all but vanishingly small cells.
+     */
+    double relTolerance = 2e-7;
+};
+
+/** Verdict for one checked tile. */
+struct AbftTileResult
+{
+    bool flagged = false; ///< any checksum mismatch
+    std::vector<std::size_t> suspectRows;
+    std::vector<std::size_t> suspectCols;
+    /** Row x column intersection: the located accumulators. */
+    std::vector<std::pair<std::size_t, std::size_t>> located;
+    /** Cells repaired in-place (subset of `located`). */
+    std::vector<std::pair<std::size_t, std::size_t>> corrected;
+};
+
+/** Detection-coverage accounting across a whole run. */
+struct AbftStats
+{
+    std::uint64_t tilesChecked = 0;
+    std::uint64_t tilesFlagged = 0;
+    /** Accumulators pinpointed to a unique (row, col). */
+    std::uint64_t locatedElements = 0;
+    /** Candidate cells in tiles whose evidence stayed ambiguous. */
+    std::uint64_t ambiguousElements = 0;
+    std::uint64_t correctedElements = 0;
+    /** Flagged tiles where row/col evidence did not intersect. */
+    std::uint64_t unlocatedTiles = 0;
+
+    /** Located faults per flagged tile-error; 1.0 when every flagged
+     *  tile pinpointed its faulty accumulators. */
+    double locateRate() const
+    {
+        return tilesFlagged > 0
+                   ? static_cast<double>(tilesFlagged - unlocatedTiles) /
+                         static_cast<double>(tilesFlagged)
+                   : 1.0;
+    }
+};
+
+/** Stateful checker: per-tile verdicts plus run-level coverage stats. */
+class AbftChecker
+{
+  public:
+    explicit AbftChecker(AbftOptions options = AbftOptions{});
+
+    const AbftOptions &options() const { return options_; }
+    const AbftStats &stats() const { return stats_; }
+    void resetStats() { stats_ = AbftStats{}; }
+
+    /**
+     * Check (and optionally repair) one tile. `acc` is the live
+     * accumulator region (rows x cols fp32) produced by streaming the
+     * full k depth of `a` (rows x k) against `b` (k x cols); repaired
+     * values are written back into `acc`.
+     */
+    AbftTileResult checkTile(const Matrix &a, const Matrix &b,
+                             Matrix &acc);
+
+  private:
+    AbftOptions options_;
+    AbftStats stats_;
+};
+
+} // namespace prose
+
+#endif // PROSE_FAULT_ABFT_HH

@@ -1,0 +1,219 @@
+#include "campaign.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace prose {
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::AccTransientFlip:
+        return "AccTransientFlip";
+      case FaultKind::AccStuckBit:
+        return "AccStuckBit";
+      case FaultKind::LinkTransferError:
+        return "LinkTransferError";
+      case FaultKind::LinkTimeout:
+        return "LinkTimeout";
+      case FaultKind::ArrayKill:
+        return "ArrayKill";
+      case FaultKind::InstanceKill:
+        return "InstanceKill";
+    }
+    return "?";
+}
+
+std::string
+FaultEvent::describe() const
+{
+    std::ostringstream os;
+    os << seq << ' ' << toString(kind) << ' ' << site;
+    switch (kind) {
+      case FaultKind::AccTransientFlip:
+      case FaultKind::AccStuckBit:
+        os << " pe=" << row << ',' << col << " bit=" << bit;
+        break;
+      case FaultKind::LinkTransferError:
+      case FaultKind::LinkTimeout:
+        break;
+      case FaultKind::ArrayKill:
+      case FaultKind::InstanceKill:
+        os << " at=" << atSeconds;
+        break;
+    }
+    return os.str();
+}
+
+namespace {
+
+double
+parseRate(const std::string &value, const std::string &key)
+{
+    char *end = nullptr;
+    const double rate = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("campaign spec: bad number for ", key, ": '", value, "'");
+    return rate;
+}
+
+std::uint64_t
+parseUint(const std::string &value, const std::string &key)
+{
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("campaign spec: bad integer for ", key, ": '", value, "'");
+    return parsed;
+}
+
+/** Split "payload@seconds" into its two halves. */
+std::pair<std::string, double>
+parseAt(const std::string &value, const std::string &key)
+{
+    const auto at = value.find('@');
+    if (at == std::string::npos)
+        fatal("campaign spec: ", key, " needs an @seconds suffix: '",
+              value, "'");
+    return { value.substr(0, at),
+             parseRate(value.substr(at + 1), key) };
+}
+
+} // namespace
+
+CampaignSpec
+CampaignSpec::parse(const std::string &text)
+{
+    CampaignSpec spec;
+    std::istringstream tokens(text);
+    std::string token;
+    while (tokens >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            fatal("campaign spec: token without '=': '", token, "'");
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "seed") {
+            spec.seed = parseUint(value, key);
+        } else if (key == "acc_flip_rate") {
+            spec.accFlipRate = parseRate(value, key);
+        } else if (key == "flip_bits") {
+            const auto parts = split(value, ':');
+            if (parts.size() != 2)
+                fatal("campaign spec: flip_bits wants low:high, got '",
+                      value, "'");
+            spec.flipBitLow =
+                static_cast<std::uint32_t>(parseUint(parts[0], key));
+            spec.flipBitHigh =
+                static_cast<std::uint32_t>(parseUint(parts[1], key));
+        } else if (key == "stuck") {
+            const auto parts = split(value, ':');
+            if (parts.size() != 5)
+                fatal("campaign spec: stuck wants "
+                      "site:row:col:bit:value, got '", value, "'");
+            StuckBitFault stuck;
+            stuck.site = parts[0];
+            stuck.row = static_cast<std::uint32_t>(parseUint(parts[1], key));
+            stuck.col = static_cast<std::uint32_t>(parseUint(parts[2], key));
+            stuck.bit = static_cast<std::uint32_t>(parseUint(parts[3], key));
+            stuck.stuckHigh = parseUint(parts[4], key) != 0;
+            spec.stuckBits.push_back(std::move(stuck));
+        } else if (key == "link_error_rate") {
+            spec.linkErrorRate = parseRate(value, key);
+        } else if (key == "link_timeout_rate") {
+            spec.linkTimeoutRate = parseRate(value, key);
+        } else if (key == "kill_array") {
+            const auto [payload, at] = parseAt(value, key);
+            const auto parts = split(payload, ':');
+            if (parts.size() != 2 || parts[0].size() != 1)
+                fatal("campaign spec: kill_array wants "
+                      "type:index@seconds, got '", value, "'");
+            ArrayKill kill;
+            kill.typeCode = parts[0][0];
+            kill.index = static_cast<std::uint32_t>(parseUint(parts[1], key));
+            kill.atSeconds = at;
+            spec.arrayKills.push_back(kill);
+        } else if (key == "kill_instance") {
+            const auto [payload, at] = parseAt(value, key);
+            InstanceKill kill;
+            kill.instance =
+                static_cast<std::uint32_t>(parseUint(payload, key));
+            kill.atSeconds = at;
+            spec.instanceKills.push_back(kill);
+        } else {
+            fatal("campaign spec: unknown key '", key, "'");
+        }
+    }
+    spec.validate();
+    return spec;
+}
+
+std::string
+CampaignSpec::describe() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed;
+    if (accFlipRate > 0.0) {
+        os << " acc_flip_rate=" << accFlipRate << " flip_bits="
+           << flipBitLow << ':' << flipBitHigh;
+    }
+    for (const StuckBitFault &stuck : stuckBits) {
+        os << " stuck=" << stuck.site << ':' << stuck.row << ':'
+           << stuck.col << ':' << stuck.bit << ':'
+           << (stuck.stuckHigh ? 1 : 0);
+    }
+    if (linkErrorRate > 0.0)
+        os << " link_error_rate=" << linkErrorRate;
+    if (linkTimeoutRate > 0.0)
+        os << " link_timeout_rate=" << linkTimeoutRate;
+    for (const ArrayKill &kill : arrayKills) {
+        os << " kill_array=" << kill.typeCode << ':' << kill.index << '@'
+           << kill.atSeconds;
+    }
+    for (const InstanceKill &kill : instanceKills) {
+        os << " kill_instance=" << kill.instance << '@' << kill.atSeconds;
+    }
+    return os.str();
+}
+
+void
+CampaignSpec::validate() const
+{
+    auto checkRate = [](double rate, const char *what) {
+        if (rate < 0.0 || rate > 1.0)
+            fatal("campaign spec: ", what, " must be in [0, 1], got ",
+                  rate);
+    };
+    checkRate(accFlipRate, "acc_flip_rate");
+    checkRate(linkErrorRate, "link_error_rate");
+    checkRate(linkTimeoutRate, "link_timeout_rate");
+    if (flipBitLow > flipBitHigh || flipBitHigh > 31)
+        fatal("campaign spec: flip_bits window ", flipBitLow, ":",
+              flipBitHigh, " is not a subrange of 0:31");
+    for (const StuckBitFault &stuck : stuckBits) {
+        if (stuck.bit > 31)
+            fatal("campaign spec: stuck bit ", stuck.bit,
+                  " exceeds an fp32 accumulator");
+        if (stuck.site.empty())
+            fatal("campaign spec: stuck fault with empty site");
+    }
+    for (const ArrayKill &kill : arrayKills) {
+        if (kill.typeCode != 'M' && kill.typeCode != 'G' &&
+            kill.typeCode != 'E')
+            fatal("campaign spec: kill_array type '",
+                  std::string(1, kill.typeCode), "' is not M/G/E");
+        if (kill.atSeconds < 0.0)
+            fatal("campaign spec: kill_array time must be >= 0");
+    }
+    for (const InstanceKill &kill : instanceKills) {
+        if (kill.atSeconds < 0.0)
+            fatal("campaign spec: kill_instance time must be >= 0");
+    }
+}
+
+} // namespace prose

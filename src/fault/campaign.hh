@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fault-campaign description for the ProSE resilience stack. A campaign
+ * is a seeded, fully deterministic specification of which faults to
+ * inject where: stuck-at / transient bit flips in PE accumulators,
+ * transfer errors and timeouts on the host link, and scheduled kills of
+ * whole arrays or whole ProSE instances.
+ *
+ * The spec has a canonical text form (space-separated key=value tokens,
+ * see CampaignSpec::parse) so campaigns can be passed on a command line,
+ * stored next to results, and replayed bit-identically. describe() emits
+ * that canonical form; parse(describe()) round-trips.
+ */
+
+#ifndef PROSE_FAULT_CAMPAIGN_HH
+#define PROSE_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prose {
+
+/** Every fault class the injector can produce. */
+enum class FaultKind
+{
+    AccTransientFlip, ///< one-shot bit flip in a PE accumulator
+    AccStuckBit,      ///< permanent stuck-at-0/1 accumulator bit
+    LinkTransferError,///< corrupted host-link transfer (retryable)
+    LinkTimeout,      ///< hung host-link transfer (detected by timeout)
+    ArrayKill,        ///< an entire systolic array goes dark
+    InstanceKill,     ///< an entire ProSE instance goes dark
+};
+
+const char *toString(FaultKind kind);
+
+/** One entry of the deterministic fault/recovery event log. */
+struct FaultEvent
+{
+    std::uint64_t seq = 0;   ///< injector-assigned sequence number
+    FaultKind kind = FaultKind::AccTransientFlip;
+    std::string site;        ///< e.g. "M0", "link:E", "instance:2"
+    std::uint32_t row = 0;   ///< accumulator row (accumulator faults)
+    std::uint32_t col = 0;   ///< accumulator column
+    std::uint32_t bit = 0;   ///< flipped/stuck bit, 0 = fp32 LSB
+    double atSeconds = -1.0; ///< scheduled time (kills); -1 if n/a
+
+    /** One canonical log line (the replay-comparison unit). */
+    std::string describe() const;
+};
+
+/** A permanently stuck accumulator bit at one PE of one array. */
+struct StuckBitFault
+{
+    std::string site;        ///< array site id, e.g. "M0"
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;
+    std::uint32_t bit = 0;   ///< fp32 accumulator bit, 0..31
+    bool stuckHigh = false;  ///< stuck-at-1 vs stuck-at-0
+};
+
+/** Scheduled death of one array instance of a type pool. */
+struct ArrayKill
+{
+    char typeCode = 'M';     ///< 'M', 'G' or 'E'
+    std::uint32_t index = 0; ///< instance index within the type pool
+    double atSeconds = 0.0;  ///< simulated time of death
+};
+
+/** Scheduled death of one ProSE instance of a system. */
+struct InstanceKill
+{
+    std::uint32_t instance = 0;
+    double atSeconds = 0.0;
+};
+
+/** The full, seeded description of one fault campaign. */
+struct CampaignSpec
+{
+    std::uint64_t seed = 1;
+
+    /** Transient-flip probability per live accumulator per tile op. */
+    double accFlipRate = 0.0;
+    /**
+     * Inclusive fp32 bit window for transient flips. Defaults to the
+     * architecturally visible half [16, 31]: every accumulator read
+     * (SIMD input or OUTPUT port) taps bits [31:16], so flips below
+     * bit 16 are masked by the truncation and undetectable by design.
+     */
+    std::uint32_t flipBitLow = 16;
+    std::uint32_t flipBitHigh = 31;
+
+    std::vector<StuckBitFault> stuckBits;
+
+    /** Fault probabilities per link transfer attempt. */
+    double linkErrorRate = 0.0;
+    double linkTimeoutRate = 0.0;
+
+    std::vector<ArrayKill> arrayKills;
+    std::vector<InstanceKill> instanceKills;
+
+    /**
+     * Parse the canonical text form. Tokens (whitespace-separated):
+     *
+     *   seed=42
+     *   acc_flip_rate=1e-4
+     *   flip_bits=16:31
+     *   stuck=M0:3:5:30:1          (site:row:col:bit:value)
+     *   link_error_rate=1e-3
+     *   link_timeout_rate=1e-4
+     *   kill_array=E:0@2e-3        (type:index@seconds)
+     *   kill_instance=1@5e-3       (instance@seconds)
+     *
+     * Unknown keys or malformed values are fatal().
+     */
+    static CampaignSpec parse(const std::string &text);
+
+    /** Canonical text form; parse(describe()) round-trips. */
+    std::string describe() const;
+
+    /** fatal() on out-of-range rates or bit windows. */
+    void validate() const;
+};
+
+} // namespace prose
+
+#endif // PROSE_FAULT_CAMPAIGN_HH

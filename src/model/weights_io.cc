@@ -166,7 +166,10 @@ readWeightsFile(const std::string &path, const BertConfig &config)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         fatal("cannot open weights file: ", path);
-    return readWeights(in, config);
+    BertWeights weights = readWeights(in, config);
+    if (in.peek() != std::char_traits<char>::eof())
+        fatal("trailing bytes after weights checkpoint: ", path);
+    return weights;
 }
 
 } // namespace prose

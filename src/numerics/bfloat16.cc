@@ -100,4 +100,25 @@ operator<<(std::ostream &os, Bfloat16 v)
     return os << v.toFloat();
 }
 
+float
+flipFloatBit(float value, std::uint32_t bit)
+{
+    return bitsToFloat(floatBits(value) ^ (1u << (bit & 31u)));
+}
+
+float
+setFloatBit(float value, std::uint32_t bit, bool high)
+{
+    const std::uint32_t mask = 1u << (bit & 31u);
+    const std::uint32_t bits = floatBits(value);
+    return bitsToFloat(high ? bits | mask : bits & ~mask);
+}
+
+Bfloat16
+flipBf16Bit(Bfloat16 value, std::uint32_t bit)
+{
+    return Bfloat16::fromBits(static_cast<std::uint16_t>(
+        value.bits() ^ (1u << (bit & 15u))));
+}
+
 } // namespace prose

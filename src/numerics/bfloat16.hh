@@ -115,6 +115,24 @@ truncateBf16(float value)
     return truncateToBf16(value).toFloat();
 }
 
+/** @name Fault-model bit surgery
+ * Single-event-upset helpers for the fault injector: flip or force one
+ * storage bit of an fp32 accumulator or a bf16 word. Bit 0 is the LSB;
+ * fp32 bits [31:16] are the architecturally visible (bf16) half of a
+ * ProSE accumulator.
+ * @{ */
+
+/** Flip one bit (0..31) of a binary32's storage. */
+float flipFloatBit(float value, std::uint32_t bit);
+
+/** Force one bit (0..31) of a binary32's storage to 0 or 1. */
+float setFloatBit(float value, std::uint32_t bit, bool high);
+
+/** Flip one bit (0..15) of a bfloat16. */
+Bfloat16 flipBf16Bit(Bfloat16 value, std::uint32_t bit);
+
+/** @} */
+
 std::ostream &operator<<(std::ostream &os, Bfloat16 v);
 
 } // namespace prose

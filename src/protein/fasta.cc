@@ -20,8 +20,8 @@ readFasta(std::istream &in)
 
     auto flush = [&] {
         if (have_record) {
-            PROSE_ASSERT(!current.sequence.empty(),
-                         "FASTA record ", current.id, " has no sequence");
+            if (current.sequence.empty())
+                fatal("FASTA record '", current.id, "' has no sequence");
             records.push_back(current);
         }
         current = FastaRecord{};
@@ -42,6 +42,8 @@ readFasta(std::istream &in)
                 current.id = header.substr(0, space);
                 current.comment = trim(header.substr(space + 1));
             }
+            if (current.id.empty())
+                fatal("FASTA header with empty record id");
         } else {
             if (!have_record)
                 fatal("FASTA sequence data before any '>' header");
@@ -51,6 +53,8 @@ readFasta(std::istream &in)
             }
         }
     }
+    if (in.bad())
+        fatal("I/O error while reading FASTA input");
     flush();
     return records;
 }

@@ -51,6 +51,17 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
                     b_tile(i, j) = b(i, tn + j);
             array.matmulTile(a_tile, b_tile);
 
+            // ABFT: verify the tile's row/column checksums before any
+            // SIMD pass consumes the accumulators; repair located cells
+            // through the accumulator write port.
+            if (abft_.options().enabled) {
+                Matrix acc = array.accumulators();
+                const AbftTileResult verdict =
+                    abft_.checkTile(a_tile, b_tile, acc);
+                for (const auto &[r, c] : verdict.corrected)
+                    array.overwriteAccumulator(r, c, acc(r, c));
+            }
+
             // Fused MulAdd: MUL pass (broadcast scalar) + ADD pass
             // (vector register streaming the addend tile).
             array.simdScalar(SimdOp::MulScalar, alpha);
@@ -120,6 +131,20 @@ FunctionalSimulator::dataflow3(const std::vector<Matrix> &q,
                                    nullptr, false, SimdOp::MulScalar));
     }
     return context;
+}
+
+void
+FunctionalSimulator::setFaultInjector(FaultInjector *injector)
+{
+    mArray_.setFaultInjector(injector, "M0");
+    gArray_.setFaultInjector(injector, "G0");
+    eArray_.setFaultInjector(injector, "E0");
+}
+
+void
+FunctionalSimulator::setAbft(AbftOptions options)
+{
+    abft_ = AbftChecker(options);
 }
 
 std::uint64_t

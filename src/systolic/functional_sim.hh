@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/abft.hh"
 #include "systolic_array.hh"
 
 namespace prose {
@@ -75,6 +76,27 @@ class FunctionalSimulator
     SystolicArray &gArray() { return gArray_; }
     SystolicArray &eArray() { return eArray_; }
 
+    /** @name Fault injection and ABFT @{ */
+
+    /**
+     * Attach a fault injector to all three arrays (sites "M0", "G0",
+     * "E0"); nullptr detaches. Without an injector the simulator is
+     * bit-identical to a fault-free build.
+     */
+    void setFaultInjector(FaultInjector *injector);
+
+    /**
+     * Enable/disable Huang-Abraham ABFT checking of every matmul tile.
+     * When options.correct is set, located accumulators are repaired
+     * in place before the fused SIMD passes consume them.
+     */
+    void setAbft(AbftOptions options);
+
+    /** Run-level detection/location/correction accounting. */
+    const AbftStats &abftStats() const { return abft_.stats(); }
+
+    /** @} */
+
   private:
     /**
      * Tile-loop core: run matmul + fused SIMD passes on `array`.
@@ -88,6 +110,7 @@ class FunctionalSimulator
     SystolicArray mArray_;
     SystolicArray gArray_;
     SystolicArray eArray_;
+    AbftChecker abft_;
 };
 
 } // namespace prose

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "numerics/bfloat16.hh"
 
 namespace prose {
@@ -155,6 +156,10 @@ SystolicArray::matmulTile(const Matrix &a, const Matrix &b)
         ++wavefront;
     }
     matmulCycles_ += cycles;
+    if (injector_) {
+        injector_->corruptAccumulators(faultSite_, acc_.data(), n,
+                                       liveRows_, liveCols_);
+    }
     return cycles;
 }
 
@@ -308,6 +313,24 @@ SystolicArray::accumulators() const
         for (std::size_t j = 0; j < liveCols_; ++j)
             out(i, j) = acc_[i * n + j];
     return out;
+}
+
+void
+SystolicArray::overwriteAccumulator(std::size_t row, std::size_t col,
+                                    float value)
+{
+    PROSE_ASSERT(row < liveRows_ && col < liveCols_,
+                 "accumulator repair outside the live region: ", row,
+                 ",", col);
+    acc_[row * geometry_.dim + col] = value;
+}
+
+void
+SystolicArray::setFaultInjector(FaultInjector *injector,
+                                std::string site_id)
+{
+    injector_ = injector;
+    faultSite_ = std::move(site_id);
 }
 
 double

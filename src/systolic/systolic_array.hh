@@ -32,6 +32,7 @@
 #define PROSE_SYSTOLIC_SYSTOLIC_ARRAY_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "array_config.hh"
@@ -40,6 +41,8 @@
 #include "stream_buffer.hh"
 
 namespace prose {
+
+class FaultInjector;
 
 /** Operations the SIMD column can apply during a rotation pass. */
 enum class SimdOp
@@ -108,6 +111,23 @@ class SystolicArray
     /** Raw fp32 accumulator view of the live region (for testing). */
     Matrix accumulators() const;
 
+    /**
+     * Overwrite one live-region accumulator (fp32). This is the repair
+     * port the ABFT layer uses to write corrected values back before
+     * the SIMD passes consume the tile.
+     */
+    void overwriteAccumulator(std::size_t row, std::size_t col,
+                              float value);
+
+    /**
+     * Attach a fault injector (nullptr detaches). While attached, every
+     * matmulTile() ends by letting the injector corrupt the live
+     * accumulator region under the given campaign site id (e.g. "M0").
+     * With no injector attached the datapath is untouched and results
+     * are bit-identical to a fault-free build.
+     */
+    void setFaultInjector(FaultInjector *injector, std::string site_id);
+
     const ArrayGeometry &geometry() const { return geometry_; }
 
     /** @name Statistics @{ */
@@ -140,6 +160,8 @@ class SystolicArray
     void rotateLeft(const std::vector<float> &results);
 
     ArrayGeometry geometry_;
+    FaultInjector *injector_ = nullptr;
+    std::string faultSite_;
     StreamBuffer aBuffer_;
     StreamBuffer bBuffer_;
     TwoLevelLut geluLut_;

@@ -84,10 +84,16 @@ readTrace(std::istream &in)
               n >> broadcast)) {
             fatal("malformed trace line ", line_no, ": '", line, "'");
         }
+        std::string excess;
+        if (fields >> excess)
+            fatal("trailing fields on trace line ", line_no, ": '", line,
+                  "'");
         trace.record(opKindFromString(kind),
                      sublayerFromString(sublayer), layer, batch, m, k, n,
                      broadcast != 0);
     }
+    if (in.bad())
+        fatal("I/O error while reading trace input");
     return trace;
 }
 

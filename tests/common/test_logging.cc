@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <thread>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace prose {
@@ -42,6 +46,41 @@ TEST(Logging, WarnStillPrintsWhenQuiet)
     setQuiet(false);
     const std::string err = testing::internal::GetCapturedStderr();
     EXPECT_NE(err.find("warn-under-quiet"), std::string::npos);
+}
+
+TEST(Logging, ConcurrentWarnsDoNotInterleave)
+{
+    constexpr int kThreads = 8;
+    constexpr int kLines = 50;
+    testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([t] {
+                for (int i = 0; i < kLines; ++i)
+                    warn("msg-", t, "-", i);
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+
+    // Every captured line must be exactly one whole message: a single
+    // mutex-guarded write per line means no interleaved fragments.
+    const std::regex whole_line("warn: msg-[0-7]-[0-9]+");
+    std::size_t lines = 0, start = 0;
+    while (start < err.size()) {
+        std::size_t end = err.find('\n', start);
+        if (end == std::string::npos)
+            end = err.size();
+        const std::string line = err.substr(start, end - start);
+        EXPECT_TRUE(std::regex_match(line, whole_line))
+            << "interleaved log line: '" << line << "'";
+        ++lines;
+        start = end + 1;
+    }
+    EXPECT_EQ(lines, static_cast<std::size_t>(kThreads * kLines));
 }
 
 TEST(LoggingDeathTest, PanicAborts)

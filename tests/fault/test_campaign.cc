@@ -1,0 +1,134 @@
+/** @file Tests for the fault-campaign spec: parse, describe, validate. */
+
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+
+namespace prose {
+namespace {
+
+TEST(CampaignSpec, DefaultsAreFaultFree)
+{
+    const CampaignSpec spec;
+    EXPECT_EQ(spec.accFlipRate, 0.0);
+    EXPECT_EQ(spec.linkErrorRate, 0.0);
+    EXPECT_EQ(spec.linkTimeoutRate, 0.0);
+    EXPECT_TRUE(spec.stuckBits.empty());
+    EXPECT_TRUE(spec.arrayKills.empty());
+    EXPECT_TRUE(spec.instanceKills.empty());
+    EXPECT_EQ(spec.flipBitLow, 16u);
+    EXPECT_EQ(spec.flipBitHigh, 31u);
+    spec.validate(); // must not die
+}
+
+TEST(CampaignSpec, ParsesEveryToken)
+{
+    const CampaignSpec spec = CampaignSpec::parse(
+        "seed=42 acc_flip_rate=1e-4 flip_bits=20:30 "
+        "stuck=M0:3:5:30:1 stuck=G0:0:0:24:0 "
+        "link_error_rate=1e-3 link_timeout_rate=1e-4 "
+        "kill_array=E:0@2e-3 kill_instance=1@5e-3");
+    EXPECT_EQ(spec.seed, 42u);
+    EXPECT_DOUBLE_EQ(spec.accFlipRate, 1e-4);
+    EXPECT_EQ(spec.flipBitLow, 20u);
+    EXPECT_EQ(spec.flipBitHigh, 30u);
+    ASSERT_EQ(spec.stuckBits.size(), 2u);
+    EXPECT_EQ(spec.stuckBits[0].site, "M0");
+    EXPECT_EQ(spec.stuckBits[0].row, 3u);
+    EXPECT_EQ(spec.stuckBits[0].col, 5u);
+    EXPECT_EQ(spec.stuckBits[0].bit, 30u);
+    EXPECT_TRUE(spec.stuckBits[0].stuckHigh);
+    EXPECT_FALSE(spec.stuckBits[1].stuckHigh);
+    EXPECT_DOUBLE_EQ(spec.linkErrorRate, 1e-3);
+    EXPECT_DOUBLE_EQ(spec.linkTimeoutRate, 1e-4);
+    ASSERT_EQ(spec.arrayKills.size(), 1u);
+    EXPECT_EQ(spec.arrayKills[0].typeCode, 'E');
+    EXPECT_EQ(spec.arrayKills[0].index, 0u);
+    EXPECT_DOUBLE_EQ(spec.arrayKills[0].atSeconds, 2e-3);
+    ASSERT_EQ(spec.instanceKills.size(), 1u);
+    EXPECT_EQ(spec.instanceKills[0].instance, 1u);
+    EXPECT_DOUBLE_EQ(spec.instanceKills[0].atSeconds, 5e-3);
+}
+
+TEST(CampaignSpec, DescribeRoundTrips)
+{
+    const CampaignSpec spec = CampaignSpec::parse(
+        "seed=7 acc_flip_rate=0.001 stuck=E0:1:2:28:1 "
+        "link_error_rate=0.01 kill_array=M:1@0.004 kill_instance=2@0.01");
+    const std::string canonical = spec.describe();
+    const CampaignSpec reparsed = CampaignSpec::parse(canonical);
+    EXPECT_EQ(reparsed.describe(), canonical);
+}
+
+TEST(CampaignSpec, EmptyTextIsDefaultSpec)
+{
+    const CampaignSpec spec = CampaignSpec::parse("");
+    EXPECT_EQ(spec.describe(), CampaignSpec{}.describe());
+}
+
+TEST(CampaignSpecDeathTest, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(CampaignSpec::parse("frobnicate=1"),
+                testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(CampaignSpecDeathTest, MalformedTokenIsFatal)
+{
+    EXPECT_EXIT(CampaignSpec::parse("acc_flip_rate"),
+                testing::ExitedWithCode(1), "token without");
+    EXPECT_EXIT(CampaignSpec::parse("seed=banana"),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(CampaignSpec::parse("stuck=M0:1:2"),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(CampaignSpec::parse("kill_array=E0@1e-3"),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(CampaignSpecDeathTest, ValidateRejectsBadRatesAndWindows)
+{
+    CampaignSpec rate;
+    rate.accFlipRate = 1.5;
+    EXPECT_EXIT(rate.validate(), testing::ExitedWithCode(1), "rate");
+
+    CampaignSpec window;
+    window.flipBitLow = 20;
+    window.flipBitHigh = 33;
+    EXPECT_EXIT(window.validate(), testing::ExitedWithCode(1), "bit");
+
+    CampaignSpec inverted;
+    inverted.flipBitLow = 30;
+    inverted.flipBitHigh = 20;
+    EXPECT_EXIT(inverted.validate(), testing::ExitedWithCode(1), "bit");
+
+    CampaignSpec kill;
+    kill.arrayKills.push_back(ArrayKill{ 'X', 0, 1e-3 });
+    EXPECT_EXIT(kill.validate(), testing::ExitedWithCode(1), "type");
+}
+
+TEST(FaultEvent, DescribeNamesKindSiteAndCell)
+{
+    FaultEvent event;
+    event.seq = 3;
+    event.kind = FaultKind::AccTransientFlip;
+    event.site = "M0";
+    event.row = 4;
+    event.col = 9;
+    event.bit = 27;
+    const std::string line = event.describe();
+    EXPECT_NE(line.find("AccTransientFlip"), std::string::npos);
+    EXPECT_NE(line.find("M0"), std::string::npos);
+    EXPECT_NE(line.find("27"), std::string::npos);
+}
+
+TEST(FaultKindNames, AllDistinct)
+{
+    EXPECT_STREQ(toString(FaultKind::AccTransientFlip),
+                 "AccTransientFlip");
+    EXPECT_STRNE(toString(FaultKind::LinkTransferError),
+                 toString(FaultKind::LinkTimeout));
+    EXPECT_STRNE(toString(FaultKind::ArrayKill),
+                 toString(FaultKind::InstanceKill));
+}
+
+} // namespace
+} // namespace prose

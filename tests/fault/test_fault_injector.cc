@@ -1,0 +1,222 @@
+/** @file Tests for the seeded deterministic fault injector. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "numerics/bfloat16.hh"
+
+namespace prose {
+namespace {
+
+std::vector<float>
+rampAccumulators(std::size_t stride)
+{
+    std::vector<float> acc(stride * stride);
+    for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = static_cast<float>(i) * 0.5f + 1.0f;
+    return acc;
+}
+
+TEST(FaultInjector, FaultFreeSpecTouchesNothing)
+{
+    FaultInjector injector{ CampaignSpec{} };
+    std::vector<float> acc = rampAccumulators(16);
+    const std::vector<float> before = acc;
+    EXPECT_EQ(injector.corruptAccumulators("M0", acc.data(), 16, 16, 16),
+              0u);
+    EXPECT_EQ(std::memcmp(acc.data(), before.data(),
+                          acc.size() * sizeof(float)),
+              0);
+    EXPECT_TRUE(injector.events().empty());
+    EXPECT_FALSE(injector.sampleLinkTransfer('M').faulty());
+    EXPECT_EQ(injector.deadArrays('M', 1e9), 0u);
+    EXPECT_TRUE(std::isinf(injector.instanceKillSeconds(0)));
+}
+
+TEST(FaultInjector, RateOneFlipsEveryLiveCell)
+{
+    CampaignSpec spec;
+    spec.seed = 5;
+    spec.accFlipRate = 1.0;
+    spec.flipBitLow = 30;
+    spec.flipBitHigh = 30;
+    FaultInjector injector(spec);
+    std::vector<float> acc = rampAccumulators(8);
+    const std::vector<float> before = acc;
+    EXPECT_EQ(injector.corruptAccumulators("M0", acc.data(), 8, 4, 4),
+              16u);
+    for (std::size_t r = 0; r < 8; ++r) {
+        for (std::size_t c = 0; c < 8; ++c) {
+            const bool live = r < 4 && c < 4;
+            EXPECT_EQ(acc[r * 8 + c] != before[r * 8 + c], live)
+                << "r=" << r << " c=" << c;
+        }
+    }
+    ASSERT_EQ(injector.events().size(), 16u);
+    for (const FaultEvent &event : injector.events()) {
+        EXPECT_EQ(event.kind, FaultKind::AccTransientFlip);
+        EXPECT_EQ(event.bit, 30u);
+        EXPECT_LT(event.row, 4u);
+        EXPECT_LT(event.col, 4u);
+    }
+}
+
+TEST(FaultInjector, FlipBitsStayInsideTheWindow)
+{
+    CampaignSpec spec;
+    spec.seed = 11;
+    spec.accFlipRate = 1.0;
+    spec.flipBitLow = 18;
+    spec.flipBitHigh = 23;
+    FaultInjector injector(spec);
+    std::vector<float> acc = rampAccumulators(16);
+    injector.corruptAccumulators("E0", acc.data(), 16, 16, 16);
+    bool saw_low = false, saw_high = false;
+    for (const FaultEvent &event : injector.events()) {
+        EXPECT_GE(event.bit, 18u);
+        EXPECT_LE(event.bit, 23u);
+        saw_low = saw_low || event.bit == 18u;
+        saw_high = saw_high || event.bit == 23u;
+    }
+    EXPECT_TRUE(saw_low);
+    EXPECT_TRUE(saw_high);
+}
+
+TEST(FaultInjector, StuckBitForcesAndLogsOnlyOnChange)
+{
+    CampaignSpec spec;
+    spec.stuckBits.push_back(StuckBitFault{ "G0", 2, 3, 30, true });
+    FaultInjector injector(spec);
+    // 1.0f = 0x3f800000 has bit 30 clear; forcing it high lands on
+    // 0x7f800000 = +Inf, the classic stuck-exponent failure.
+    std::vector<float> acc(64, 1.0f);
+    EXPECT_EQ(injector.corruptAccumulators("G0", acc.data(), 8, 8, 8),
+              1u);
+    EXPECT_NE(acc[2 * 8 + 3], 1.0f);
+    ASSERT_EQ(injector.events().size(), 1u);
+    EXPECT_EQ(injector.events()[0].kind, FaultKind::AccStuckBit);
+
+    // Re-applying to the already-stuck value must not log again.
+    EXPECT_EQ(injector.corruptAccumulators("G0", acc.data(), 8, 8, 8),
+              0u);
+    EXPECT_EQ(injector.events().size(), 1u);
+
+    // Wrong site: untouched.
+    std::vector<float> other(64, 1.0f);
+    EXPECT_EQ(injector.corruptAccumulators("M0", other.data(), 8, 8, 8),
+              0u);
+    EXPECT_EQ(other[2 * 8 + 3], 1.0f);
+}
+
+TEST(FaultInjector, LinkRatesDriveOutcomes)
+{
+    CampaignSpec always_error;
+    always_error.linkErrorRate = 1.0;
+    FaultInjector error_injector(always_error);
+    const FaultInjector::LinkOutcome error =
+        error_injector.sampleLinkTransfer('M');
+    EXPECT_TRUE(error.error);
+    EXPECT_FALSE(error.timeout);
+
+    CampaignSpec always_timeout;
+    always_timeout.linkTimeoutRate = 1.0;
+    FaultInjector timeout_injector(always_timeout);
+    const FaultInjector::LinkOutcome timeout =
+        timeout_injector.sampleLinkTransfer('E');
+    EXPECT_FALSE(timeout.error);
+    EXPECT_TRUE(timeout.timeout);
+    ASSERT_EQ(timeout_injector.events().size(), 1u);
+    EXPECT_EQ(timeout_injector.events()[0].kind, FaultKind::LinkTimeout);
+    EXPECT_EQ(timeout_injector.events()[0].site, "link:E");
+}
+
+TEST(FaultInjector, LinkSamplingKeepsRngStreamAligned)
+{
+    // Two campaigns, identical but for the link rates: after the same
+    // number of link draws, the accumulator flips must land on the same
+    // cells and bits.
+    CampaignSpec quiet;
+    quiet.seed = 99;
+    quiet.accFlipRate = 0.05;
+    CampaignSpec noisy = quiet;
+    noisy.linkErrorRate = 0.7;
+    noisy.linkTimeoutRate = 0.2;
+
+    FaultInjector a(quiet), b(noisy);
+    for (int i = 0; i < 37; ++i) {
+        a.sampleLinkTransfer('M');
+        b.sampleLinkTransfer('M');
+    }
+    std::vector<float> acc_a = rampAccumulators(32);
+    std::vector<float> acc_b = rampAccumulators(32);
+    a.corruptAccumulators("M0", acc_a.data(), 32, 32, 32);
+    b.corruptAccumulators("M0", acc_b.data(), 32, 32, 32);
+    EXPECT_EQ(std::memcmp(acc_a.data(), acc_b.data(),
+                          acc_a.size() * sizeof(float)),
+              0);
+}
+
+TEST(FaultInjector, KillScheduleIsTimeDependent)
+{
+    CampaignSpec spec;
+    spec.arrayKills = { ArrayKill{ 'M', 0, 2e-3 },
+                        ArrayKill{ 'M', 1, 4e-3 },
+                        ArrayKill{ 'E', 0, 1e-3 } };
+    spec.instanceKills = { InstanceKill{ 2, 5e-3 } };
+    FaultInjector injector(spec);
+    EXPECT_EQ(injector.deadArrays('M', 0.0), 0u);
+    EXPECT_EQ(injector.deadArrays('M', 2e-3), 1u);
+    EXPECT_EQ(injector.deadArrays('M', 1.0), 2u);
+    EXPECT_EQ(injector.deadArrays('E', 1.5e-3), 1u);
+    EXPECT_EQ(injector.deadArrays('G', 1.0), 0u);
+    EXPECT_DOUBLE_EQ(injector.instanceKillSeconds(2), 5e-3);
+    EXPECT_TRUE(std::isinf(injector.instanceKillSeconds(0)));
+    // Scheduled kills are logged up front.
+    EXPECT_EQ(injector.events().size(), 4u);
+}
+
+TEST(FaultInjector, ReplayIsBitIdentical)
+{
+    CampaignSpec spec = CampaignSpec::parse(
+        "seed=42 acc_flip_rate=0.01 link_error_rate=0.1 "
+        "link_timeout_rate=0.05 stuck=M0:1:1:29:1 kill_array=G:0@1e-3");
+
+    const auto drive = [&](FaultInjector &injector) {
+        std::vector<float> acc = rampAccumulators(32);
+        for (int round = 0; round < 5; ++round) {
+            injector.corruptAccumulators("M0", acc.data(), 32, 32, 32);
+            injector.sampleLinkTransfer('M');
+            injector.sampleLinkTransfer('E');
+        }
+        return injector.eventLogText();
+    };
+
+    FaultInjector first(spec), second(spec);
+    const std::string log = drive(first);
+    EXPECT_FALSE(log.empty());
+    EXPECT_EQ(log, drive(second));
+
+    // reset() replays the same campaign from scratch.
+    first.reset();
+    EXPECT_EQ(drive(first), log);
+}
+
+TEST(FaultInjector, EventLogCarriesSequenceNumbers)
+{
+    CampaignSpec spec;
+    spec.accFlipRate = 1.0;
+    spec.flipBitLow = spec.flipBitHigh = 24;
+    FaultInjector injector(spec);
+    std::vector<float> acc = rampAccumulators(4);
+    injector.corruptAccumulators("M0", acc.data(), 4, 2, 2);
+    ASSERT_EQ(injector.events().size(), 4u);
+    for (std::size_t i = 0; i < injector.events().size(); ++i)
+        EXPECT_EQ(injector.events()[i].seq, i);
+}
+
+} // namespace
+} // namespace prose

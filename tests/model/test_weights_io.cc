@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "model/bert_model.hh"
@@ -106,6 +107,20 @@ TEST(WeightsIoDeathTest, TruncatedStreamIsFatal)
     std::stringstream chopped(data, std::ios::in | std::ios::binary);
     EXPECT_EXIT(readWeights(chopped, config),
                 testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(WeightsIoDeathTest, TrailingBytesInFileAreFatal)
+{
+    const BertConfig config = BertConfig::tiny();
+    const std::string path =
+        testing::TempDir() + "/prose_weights_trailing.bin";
+    writeWeightsFile(path, config, BertWeights::initialize(config, 1));
+    {
+        std::ofstream append(path, std::ios::binary | std::ios::app);
+        append << "junk";
+    }
+    EXPECT_EXIT(readWeightsFile(path, config), testing::ExitedWithCode(1),
+                "trailing bytes");
 }
 
 TEST(WeightsIoDeathTest, MissingFileIsFatal)

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
@@ -174,6 +175,48 @@ TEST(Bfloat16, StreamInsertionPrintsValue)
     std::ostringstream os;
     os << Bfloat16(1.5f);
     EXPECT_EQ(os.str(), "1.5");
+}
+
+TEST(Bfloat16, FlipFloatBitIsItsOwnInverse)
+{
+    const float value = 3.14159f;
+    for (std::uint32_t bit = 0; bit < 32; ++bit) {
+        const float flipped = flipFloatBit(value, bit);
+        EXPECT_NE(std::memcmp(&flipped, &value, sizeof(float)), 0);
+        const float back = flipFloatBit(flipped, bit);
+        EXPECT_EQ(std::memcmp(&back, &value, sizeof(float)), 0);
+    }
+}
+
+TEST(Bfloat16, FlipFloatBitHitsTheExpectedField)
+{
+    // Sign bit negates; clearing the exponent LSB of 1.0 halves it.
+    EXPECT_EQ(flipFloatBit(2.5f, 31), -2.5f);
+    EXPECT_EQ(flipFloatBit(1.0f, 23), 0.5f);
+    // Mantissa bit 22 of 1.0 adds 2^-1.
+    EXPECT_EQ(flipFloatBit(1.0f, 22), 1.5f);
+}
+
+TEST(Bfloat16, SetFloatBitForcesAndIsIdempotent)
+{
+    const float forced = setFloatBit(1.0f, 22, true);
+    EXPECT_EQ(forced, 1.5f);
+    EXPECT_EQ(setFloatBit(forced, 22, true), forced);
+    EXPECT_EQ(setFloatBit(forced, 22, false), 1.0f);
+    EXPECT_EQ(setFloatBit(1.0f, 22, false), 1.0f);
+}
+
+TEST(Bfloat16, FlipBf16BitMatchesFloatBitSixteenUp)
+{
+    // Bf16 bit b corresponds to fp32 bit b + 16.
+    const Bfloat16 value(1.0f);
+    for (std::uint32_t bit = 0; bit < 16; ++bit) {
+        const Bfloat16 flipped = flipBf16Bit(value, bit);
+        const float viaFloat = flipFloatBit(value.toFloat(), bit + 16);
+        EXPECT_EQ(flipped.toFloat(), quantizeBf16(viaFloat))
+            << "bit " << bit;
+        EXPECT_EQ(flipBf16Bit(flipped, bit).bits(), value.bits());
+    }
 }
 
 } // namespace

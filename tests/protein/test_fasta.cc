@@ -75,10 +75,28 @@ TEST(FastaDeathTest, SequenceBeforeHeaderIsFatal)
     EXPECT_EXIT(readFasta(in), testing::ExitedWithCode(1), "header");
 }
 
-TEST(Fasta, HeaderOnlyRecordIsFatal)
+TEST(FastaDeathTest, HeaderOnlyRecordIsFatal)
 {
     std::istringstream in(">lonely-header\n");
-    EXPECT_DEATH(readFasta(in), "no sequence");
+    EXPECT_EXIT(readFasta(in), testing::ExitedWithCode(1), "no sequence");
+}
+
+TEST(FastaDeathTest, HeaderOnlyRecordInTheMiddleIsFatal)
+{
+    std::istringstream in(">a\nMEYQ\n>empty\n>b\nACD\n");
+    EXPECT_EXIT(readFasta(in), testing::ExitedWithCode(1), "no sequence");
+}
+
+TEST(FastaDeathTest, EmptyRecordIdIsFatal)
+{
+    std::istringstream in("> comment only\nMEYQ\n");
+    EXPECT_EXIT(readFasta(in), testing::ExitedWithCode(1), "empty record id");
+}
+
+TEST(FastaDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readFastaFile("/no/such/proteins.fasta"),
+                testing::ExitedWithCode(1), "cannot open FASTA");
 }
 
 TEST(RandomProtein, LengthAndAlphabet)

@@ -95,6 +95,13 @@ TEST(TraceIoDeathTest, MalformedLineIsFatal)
     EXPECT_EXIT(readTrace(in), testing::ExitedWithCode(1), "malformed");
 }
 
+TEST(TraceIoDeathTest, TrailingFieldsAreFatal)
+{
+    std::istringstream in("MatMul Attention 0 1 8 16 4 0 surprise\n");
+    EXPECT_EXIT(readTrace(in), testing::ExitedWithCode(1),
+                "trailing fields");
+}
+
 TEST(TraceIoDeathTest, MissingFileIsFatal)
 {
     EXPECT_EXIT(readTraceFile("/nonexistent/prose.trace"),
