@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Perf-regression harness for the shared compute backend (docs/PERF.md).
+ *
+ * Times the raw matmul kernel family (fp32 serial vs pooled, bf16
+ * per-call quantization vs cached weights) and the end-to-end
+ * tokenizer -> BERT forward -> trace -> PerfSim chain across
+ * representative shapes (len 128/512, batch 1/8), then emits
+ * BENCH_perf.json with median / p10 / p90 milliseconds per bench so
+ * successive PRs accumulate a perf trajectory.
+ *
+ * Usage: perf_regression [--quick] [--repeats N] [--out PATH]
+ *   --quick    small shapes, few repeats (the CI smoke configuration)
+ *   --repeats  pooled-measurement repeats (default 5; serial baselines
+ *              of large shapes run fewer to bound wall-clock)
+ *   --out      output JSON path (default BENCH_perf.json in the CWD)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "accel/perf_sim.hh"
+#include "accel/prose_config.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "model/bert_model.hh"
+#include "model/tokenizer.hh"
+#include "numerics/matrix.hh"
+#include "trace/dataflow.hh"
+
+using namespace prose;
+
+namespace {
+
+struct BenchResult
+{
+    std::string name;
+    double medianMs = 0.0;
+    double p10Ms = 0.0;
+    double p90Ms = 0.0;
+    std::size_t repeats = 0;
+};
+
+/** Run fn `repeats` times and fold the wall-clock samples into a row. */
+template <typename Fn>
+BenchResult
+timeBench(const std::string &name, std::size_t repeats, Fn &&fn)
+{
+    std::vector<double> samples;
+    samples.reserve(repeats);
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const auto stop = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count());
+    }
+    BenchResult result;
+    result.name = name;
+    result.medianMs = percentile(samples, 50.0);
+    result.p10Ms = percentile(samples, 10.0);
+    result.p90Ms = percentile(samples, 90.0);
+    result.repeats = repeats;
+    return result;
+}
+
+Matrix
+randomMatrix(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    Matrix m(rows, cols);
+    m.fillGaussian(rng, 0.0f, 1.0f);
+    return m;
+}
+
+std::string
+randomProtein(Rng &rng, std::size_t residues)
+{
+    static const char kAlphabet[] = "ACDEFGHIKLMNPQRSTVWY";
+    std::string seq;
+    seq.reserve(residues);
+    for (std::size_t i = 0; i < residues; ++i)
+        seq.push_back(kAlphabet[rng.below(20)]);
+    return seq;
+}
+
+/** The full tokenizer -> forward -> trace -> PerfSim chain, once. */
+double
+endToEndChain(const BertModel &model, const AminoTokenizer &tokenizer,
+              const std::string &protein, std::uint64_t batch,
+              std::uint64_t seq_len)
+{
+    const auto ids = tokenizer.encode(protein, seq_len);
+    const std::vector<std::vector<std::uint32_t>> tokens(batch, ids);
+    OpTrace trace;
+    const BertModel::Output out =
+        model.forward(tokens, NumericsMode::Bf16Lut, &trace);
+    const auto tasks = DataflowBuilder{}.build(trace);
+    const SimReport report = PerfSim(ProseConfig::bestPerf())
+                                 .run(model.config().shape(batch, seq_len));
+    // Fold results together so nothing is optimized away.
+    return out.pooled(0, 0) + static_cast<double>(tasks.size()) +
+           report.makespan;
+}
+
+std::string
+jsonEscapeless(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::size_t repeats = 5;
+    std::string out_path = "BENCH_perf.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--repeats" && i + 1 < argc) {
+            repeats = static_cast<std::size_t>(std::atol(argv[++i]));
+            if (repeats < 1)
+                fatal("--repeats needs a positive count");
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            fatal("unknown argument \"", arg,
+                  "\"; usage: perf_regression [--quick] [--repeats N]"
+                  " [--out PATH]");
+        }
+    }
+    if (quick)
+        repeats = std::min<std::size_t>(repeats, 3);
+
+    const unsigned threads = ThreadPool::global().parallelism();
+    std::cout << "perf_regression: " << threads << " pool lane(s), "
+              << repeats << " repeat(s)" << (quick ? ", quick mode" : "")
+              << "\n\n";
+
+    Rng rng(20260806);
+    std::vector<BenchResult> results;
+
+    // --- Raw kernels: fp32 serial vs pooled ---------------------------
+    struct GemmShape
+    {
+        std::uint64_t seqLen, batch;
+    };
+    std::vector<GemmShape> gemm_shapes = { { 128, 1 } };
+    if (!quick)
+        gemm_shapes = { { 128, 1 }, { 128, 8 }, { 512, 1 }, { 512, 8 } };
+    constexpr std::size_t kWidth = 768; // BERT-base H
+
+    for (const GemmShape &shape : gemm_shapes) {
+        const std::size_t m = shape.seqLen * shape.batch;
+        const Matrix a = randomMatrix(rng, m, kWidth);
+        const Matrix b = randomMatrix(rng, kWidth, kWidth);
+        const std::string tag = "len" + std::to_string(shape.seqLen) +
+                                "_b" + std::to_string(shape.batch);
+        // Serial baselines of the biggest shape run once to bound
+        // harness wall-clock; medians of 1 sample are still recorded.
+        const std::size_t serial_repeats =
+            m >= 4096 ? 1 : std::max<std::size_t>(1, repeats / 2 + 1);
+        results.push_back(timeBench(
+            "matmul_fp32_serial_" + tag, serial_repeats, [&] {
+                ThreadPool::SerialGuard serial;
+                volatile float sink = matmul(a, b)(0, 0);
+                (void)sink;
+            }));
+        results.push_back(
+            timeBench("matmul_fp32_pooled_" + tag, repeats, [&] {
+                volatile float sink = matmul(a, b)(0, 0);
+                (void)sink;
+            }));
+    }
+
+    // --- bf16 path: per-call quantization vs cached weights -----------
+    {
+        const std::size_t m = quick ? 128 : 512;
+        const Matrix a = randomMatrix(rng, m, kWidth);
+        const Matrix w = randomMatrix(rng, kWidth, kWidth);
+        const QuantizedOperand cached(w);
+        results.push_back(
+            timeBench("matmulBf16_percall_quant", repeats, [&] {
+                volatile float sink = matmulBf16(a, w)(0, 0);
+                (void)sink;
+            }));
+        results.push_back(
+            timeBench("matmulBf16_cached_weights", repeats, [&] {
+                volatile float sink = matmulBf16(a, cached)(0, 0);
+                (void)sink;
+            }));
+    }
+
+    // --- End-to-end: tokenizer -> forward -> trace -> PerfSim ---------
+    BertConfig config;
+    config.layers = 2;
+    config.hidden = 256;
+    config.heads = 8;
+    config.intermediate = 1024;
+    config.maxSeqLen = 512;
+    const BertModel model(config, /*seed=*/7);
+    const AminoTokenizer tokenizer;
+
+    std::vector<GemmShape> e2e_shapes = { { 128, 1 } };
+    if (!quick)
+        e2e_shapes = { { 128, 1 }, { 128, 8 }, { 512, 1 } };
+    for (const GemmShape &shape : e2e_shapes) {
+        const std::string protein = randomProtein(rng, shape.seqLen - 2);
+        const std::string tag = "len" + std::to_string(shape.seqLen) +
+                                "_b" + std::to_string(shape.batch);
+        const std::size_t serial_repeats =
+            shape.seqLen * shape.batch >= 1024
+                ? 1
+                : std::max<std::size_t>(1, repeats / 2 + 1);
+        results.push_back(
+            timeBench("forward_chain_serial_" + tag, serial_repeats, [&] {
+                ThreadPool::SerialGuard serial;
+                volatile double sink = endToEndChain(
+                    model, tokenizer, protein, shape.batch, shape.seqLen);
+                (void)sink;
+            }));
+        results.push_back(
+            timeBench("forward_chain_pooled_" + tag, repeats, [&] {
+                volatile double sink = endToEndChain(
+                    model, tokenizer, protein, shape.batch, shape.seqLen);
+                (void)sink;
+            }));
+    }
+
+    // --- Report -------------------------------------------------------
+    Table table({ "bench", "median ms", "p10 ms", "p90 ms", "n" });
+    for (const BenchResult &r : results) {
+        table.addRow({ r.name, Table::fmt(r.medianMs, 3),
+                       Table::fmt(r.p10Ms, 3), Table::fmt(r.p90Ms, 3),
+                       std::to_string(r.repeats) });
+    }
+    table.print(std::cout);
+
+    std::ofstream json(out_path);
+    if (!json)
+        fatal("cannot write ", out_path);
+    json << "{\n"
+         << "  \"schema\": \"prose-perf-v1\",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+         << "  \"benches\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        json << "    {\"name\": \"" << r.name << "\", \"median_ms\": "
+             << jsonEscapeless(r.medianMs) << ", \"p10_ms\": "
+             << jsonEscapeless(r.p10Ms) << ", \"p90_ms\": "
+             << jsonEscapeless(r.p90Ms) << ", \"repeats\": " << r.repeats
+             << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    json.close();
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}

@@ -1,12 +1,11 @@
 #include "dse_engine.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
-#include <thread>
 
 #include "baseline/platform.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "power/power_model.hh"
 
 namespace prose {
@@ -90,27 +89,14 @@ DseEngine::explore(const ConfigSpaceSpec &spec) const
     PROSE_ASSERT(!mixes.empty(), "empty configuration space");
     selection.points.resize(mixes.size());
 
-    // Mixes are independent; fan the evaluations across hardware
-    // threads (each evaluation is a full lane-partition sweep).
-    const unsigned workers = std::max(
-        1u, std::min<unsigned>(std::thread::hardware_concurrency(),
-                               static_cast<unsigned>(mixes.size())));
-    std::atomic<std::size_t> next{ 0 };
-    auto run = [&] {
-        for (std::size_t i = next.fetch_add(1); i < mixes.size();
-             i = next.fetch_add(1)) {
-            selection.points[i] = evaluateBestLanes(mixes[i]);
-        }
-    };
-    if (workers == 1) {
-        run();
-    } else {
-        std::vector<std::thread> pool;
-        for (unsigned w = 0; w < workers; ++w)
-            pool.emplace_back(run);
-        for (std::thread &worker : pool)
-            worker.join();
-    }
+    // Mixes are independent; fan the evaluations (each a full
+    // lane-partition sweep) across the shared pool instead of spawning
+    // a thread vector per explore() call.
+    ThreadPool::global().parallelFor(
+        mixes.size(), [&](std::size_t m0, std::size_t m1) {
+            for (std::size_t i = m0; i < m1; ++i)
+                selection.points[i] = evaluateBestLanes(mixes[i]);
+        });
 
     std::vector<double> runtime, power, area;
     for (const auto &point : selection.points) {

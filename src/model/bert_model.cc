@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "numerics/activations.hh"
 #include "tokenizer.hh"
 
@@ -43,6 +44,7 @@ BertModel::BertModel(const BertConfig &config, BertWeights weights)
     config_.validate();
     PROSE_ASSERT(weights_.layers.size() == config_.layers,
                  "weights/config layer-count mismatch");
+    rebuildWeightCache();
 }
 
 void
@@ -52,6 +54,38 @@ BertModel::setSpecialFunctionLuts(TwoLevelLut gelu, TwoLevelLut exp)
     expLut_ = std::move(exp);
 }
 
+void
+BertModel::setWeights(BertWeights weights)
+{
+    PROSE_ASSERT(weights.layers.size() == config_.layers,
+                 "weights/config layer-count mismatch");
+    weights_ = std::move(weights);
+    rebuildWeightCache();
+}
+
+void
+BertModel::rebuildWeightCache()
+{
+    bf16Weights_.resize(weights_.layers.size());
+    for (std::size_t l = 0; l < weights_.layers.size(); ++l) {
+        const LayerWeights &lw = weights_.layers[l];
+        QuantizedLayerWeights &cache = bf16Weights_[l];
+        cache.wq.update(lw.wq);
+        cache.wk.update(lw.wk);
+        cache.wv.update(lw.wv);
+        cache.wo.update(lw.wo);
+        cache.w1.update(lw.w1);
+        cache.w2.update(lw.w2);
+    }
+    poolerWBf16_.update(weights_.poolerW);
+}
+
+std::uint64_t
+BertModel::weightCacheVersion() const
+{
+    return poolerWBf16_.version();
+}
+
 Matrix
 BertModel::modalMatmul(const Matrix &a, const Matrix &b,
                        NumericsMode mode) const
@@ -59,6 +93,15 @@ BertModel::modalMatmul(const Matrix &a, const Matrix &b,
     if (mode == NumericsMode::Fp32)
         return matmul(a, b);
     return matmulBf16(a, b);
+}
+
+Matrix
+BertModel::modalMatmul(const Matrix &a, const Matrix &w,
+                       const QuantizedOperand &wq, NumericsMode mode) const
+{
+    if (mode == NumericsMode::Fp32)
+        return matmul(a, w);
+    return matmulBf16(a, wq);
 }
 
 void
@@ -125,13 +168,20 @@ BertModel::encoderLayer(const Matrix &x, const LayerWeights &lw, int layer,
             trace->record(kind, sub, layer, bt, m, k, n, broadcast);
     };
 
+    PROSE_ASSERT(layer >= 0 &&
+                     static_cast<std::size_t>(layer) < bf16Weights_.size(),
+                 "encoder layer index outside the weight cache");
+    const QuantizedLayerWeights &qw =
+        bf16Weights_[static_cast<std::size_t>(layer)];
+
     // --- Attention sublayer -------------------------------------------
     // Q/K/V projections: MatMul + bias MulAdd (Dataflow 1) + head split.
     Matrix qkv[3];
     const Matrix *proj_w[3] = { &lw.wq, &lw.wk, &lw.wv };
+    const QuantizedOperand *proj_wq[3] = { &qw.wq, &qw.wk, &qw.wv };
     const std::vector<float> *proj_b[3] = { &lw.bq, &lw.bk, &lw.bv };
     for (int p = 0; p < 3; ++p) {
-        qkv[p] = modalMatmul(x, *proj_w[p], mode);
+        qkv[p] = modalMatmul(x, *proj_w[p], *proj_wq[p], mode);
         record(OpKind::MatMul, Sublayer::Attention, 1, bl, h, h);
         qkv[p] = addBias(qkv[p], *proj_b[p]);
         modalQuantize(qkv[p], mode);
@@ -149,8 +199,15 @@ BertModel::encoderLayer(const Matrix &x, const LayerWeights &lw, int layer,
 
     const float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(dk));
     Matrix context(bl, h);
-    for (std::uint64_t b = 0; b < batch; ++b) {
-        for (std::uint64_t hd = 0; hd < heads; ++hd) {
+    // The (batch, head) pairs are independent and write disjoint column
+    // bands of `context`, so they fan out across the shared pool; each
+    // pair's math is untouched, keeping results bit-identical to the
+    // serial sweep.
+    ThreadPool::global().parallelFor(
+        batch * heads, [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t pair = p0; pair < p1; ++pair) {
+            const std::uint64_t b = pair / heads;
+            const std::uint64_t hd = pair % heads;
             // Slice this (batch, head) Q/K/V: seq_len x dk.
             Matrix qh(seq_len, dk), kh(seq_len, dk), vh(seq_len, dk);
             for (std::uint64_t t = 0; t < seq_len; ++t) {
@@ -206,11 +263,11 @@ BertModel::encoderLayer(const Matrix &x, const LayerWeights &lw, int layer,
                 for (std::uint64_t j = 0; j < dk; ++j)
                     context(b * seq_len + t, hd * dk + j) = ctx(t, j);
         }
-    }
+    });
     record(OpKind::Transpose, Sublayer::Attention, 1, bl, 0, h);
 
     // Attention output projection + residual (Dataflow 1) + LayerNorm.
-    Matrix attn_out = modalMatmul(context, lw.wo, mode);
+    Matrix attn_out = modalMatmul(context, lw.wo, qw.wo, mode);
     record(OpKind::MatMul, Sublayer::Attention, 1, bl, h, h);
     attn_out = addBias(attn_out, lw.bo);
     record(OpKind::MulAdd, Sublayer::Attention, 1, bl, 0, h, true);
@@ -223,7 +280,7 @@ BertModel::encoderLayer(const Matrix &x, const LayerWeights &lw, int layer,
     record(OpKind::LayerNorm, Sublayer::Attention, 1, bl, 0, h);
 
     // --- Intermediate sublayer (Dataflow 2) ----------------------------
-    Matrix inter = modalMatmul(normed, lw.w1, mode);
+    Matrix inter = modalMatmul(normed, lw.w1, qw.w1, mode);
     record(OpKind::MatMul, Sublayer::Intermediate, 1, bl, h,
            config_.intermediate);
     inter = addBias(inter, lw.b1);
@@ -244,7 +301,7 @@ BertModel::encoderLayer(const Matrix &x, const LayerWeights &lw, int layer,
            config_.intermediate);
 
     // --- Output sublayer (Dataflow 1) -----------------------------------
-    Matrix out = modalMatmul(inter, lw.w2, mode);
+    Matrix out = modalMatmul(inter, lw.w2, qw.w2, mode);
     record(OpKind::MatMul, Sublayer::Output, 1, bl, config_.intermediate,
            h);
     out = addBias(out, lw.b2);
@@ -306,7 +363,7 @@ BertModel::forward(const std::vector<std::vector<std::uint32_t>> &tokens,
     for (std::uint64_t b = 0; b < batch; ++b)
         for (std::uint64_t j = 0; j < config_.hidden; ++j)
             cls(b, j) = x(b * seq_len, j);
-    Matrix pooled = modalMatmul(cls, weights_.poolerW, mode);
+    Matrix pooled = modalMatmul(cls, weights_.poolerW, poolerWBf16_, mode);
     pooled = addBias(pooled, weights_.poolerB);
     for (std::size_t i = 0; i < pooled.rows(); ++i)
         for (std::size_t j = 0; j < pooled.cols(); ++j)

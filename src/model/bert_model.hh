@@ -103,8 +103,22 @@ class BertModel
      */
     void setSpecialFunctionLuts(TwoLevelLut gelu, TwoLevelLut exp);
 
+    /**
+     * Replace all encoder weights (the checkpoint-reload path, mirroring
+     * setSpecialFunctionLuts). Rebuilds the cached bf16-quantized weight
+     * operands the Bf16/Bf16Lut matmuls consume, so stale quantized
+     * weights can never survive a reload.
+     */
+    void setWeights(BertWeights weights);
+
     const BertConfig &config() const { return config_; }
     const BertWeights &weights() const { return weights_; }
+
+    /**
+     * Version of the bf16 weight cache; bumps on every weight (re)load.
+     * Exposed so tests can assert the cache is invalidated.
+     */
+    std::uint64_t weightCacheVersion() const;
 
   private:
     /** Embedding lookup + position add + LayerNorm. */
@@ -126,13 +140,33 @@ class BertModel
     Matrix modalMatmul(const Matrix &a, const Matrix &b,
                        NumericsMode mode) const;
 
+    /**
+     * MatMul against a constant weight operand: fp32 uses `w`, the bf16
+     * modes use the cached pre-quantized copy `wq` (quantized once per
+     * weight load instead of once per call).
+     */
+    Matrix modalMatmul(const Matrix &a, const Matrix &w,
+                       const QuantizedOperand &wq,
+                       NumericsMode mode) const;
+
     /** Elementwise quantization when the mode is a bf16 mode. */
     void modalQuantize(Matrix &m, NumericsMode mode) const;
+
+    /** bf16-quantized copies of one layer's weight matrices. */
+    struct QuantizedLayerWeights
+    {
+        QuantizedOperand wq, wk, wv, wo, w1, w2;
+    };
+
+    /** Re-quantize every weight matrix into the bf16 cache. */
+    void rebuildWeightCache();
 
     BertConfig config_;
     BertWeights weights_;
     TwoLevelLut geluLut_;
     TwoLevelLut expLut_;
+    std::vector<QuantizedLayerWeights> bf16Weights_;
+    QuantizedOperand poolerWBf16_;
 };
 
 } // namespace prose

@@ -1,10 +1,9 @@
 #include "host_kernels.hh"
 
 #include <cmath>
-#include <thread>
-#include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "bfloat16.hh"
 
 namespace prose {
@@ -19,19 +18,13 @@ parallelRows(std::size_t rows, unsigned workers,
             fn(row);
         return;
     }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w] {
-            // Contiguous row blocks keep each worker streaming.
-            const std::size_t begin = rows * w / workers;
-            const std::size_t end = rows * (w + 1) / workers;
+    // Submit to the shared pool instead of spawning threads per call;
+    // capping the chunk count models a host CPU with `workers` lanes.
+    ThreadPool::global().parallelFor(
+        rows, workers, [&](std::size_t begin, std::size_t end) {
             for (std::size_t row = begin; row < end; ++row)
                 fn(row);
         });
-    }
-    for (std::thread &worker : pool)
-        worker.join();
 }
 
 void

@@ -4,7 +4,7 @@
  * HostModel *times* the host work; these kernels *perform* it, so the
  * functional path (FunctionalSimulator + BertModel) runs the same
  * softmax sum/divide and LayerNorm the deployed host would, optionally
- * parallelized across std::thread workers the way the paper's Xeon
+ * parallelized across the shared ThreadPool the way the paper's Xeon
  * streams softmax batches.
  */
 
@@ -39,7 +39,8 @@ void hostLayerNorm(Matrix &activations, const std::vector<float> &gamma,
 
 /**
  * Row-parallel driver used by both kernels: runs fn(row_index) over
- * [0, rows) on `workers` threads. Exposed for other row-wise host work.
+ * [0, rows) on the shared ThreadPool, with concurrency capped at
+ * `workers` lanes. Exposed for other row-wise host work.
  */
 void parallelRows(std::size_t rows, unsigned workers,
                   const std::function<void(std::size_t)> &fn);

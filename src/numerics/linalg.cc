@@ -103,8 +103,12 @@ ridgeFit(const Matrix &x, const std::vector<double> &y, double lambda)
         y_mean += v;
     y_mean /= static_cast<double>(n);
 
-    // Normal equations: (Xc^T Xc + lambda I) w = Xc^T yc.
-    Matrix gram(d, d);
+    // Normal equations: (Xc^T Xc + lambda I) w = Xc^T yc. The Gram
+    // matrix accumulates in a local double buffer — running the sums
+    // through float Matrix storage loses ~n*eps relative precision,
+    // which visibly degrades conditioning on ill-scaled features — and
+    // narrows to float exactly once, after the ridge penalty is added.
+    std::vector<double> gram_acc(d * d, 0.0);
     std::vector<double> rhs(d, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < d; ++j) {
@@ -112,14 +116,19 @@ ridgeFit(const Matrix &x, const std::vector<double> &y, double lambda)
             rhs[j] += xij * (y[i] - y_mean);
             for (std::size_t k = j; k < d; ++k) {
                 const double xik = x(i, k) - x_mean[k];
-                gram(j, k) += static_cast<float>(xij * xik);
+                gram_acc[j * d + k] += xij * xik;
             }
         }
     }
+    Matrix gram(d, d);
     for (std::size_t j = 0; j < d; ++j) {
-        gram(j, j) += static_cast<float>(lambda);
-        for (std::size_t k = 0; k < j; ++k)
-            gram(j, k) = gram(k, j);
+        gram_acc[j * d + j] += lambda;
+        for (std::size_t k = j; k < d; ++k) {
+            const float narrowed =
+                static_cast<float>(gram_acc[j * d + k]);
+            gram(j, k) = narrowed;
+            gram(k, j) = narrowed;
+        }
     }
 
     const bool ok = choleskyFactor(gram);

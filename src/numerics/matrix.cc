@@ -4,6 +4,7 @@
 
 #include "bfloat16.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace prose {
 
@@ -71,24 +72,88 @@ Matrix::frobeniusNorm() const
     return static_cast<float>(std::sqrt(acc));
 }
 
+namespace {
+
+/** B-block of the cache-blocked kernel: kKBlock x kJBlock floats
+ *  (128 KiB) stays resident while a chunk's rows stream over it. */
+constexpr std::size_t kKBlock = 128;
+constexpr std::size_t kJBlock = 256;
+
+/** Below this many MACs pool dispatch costs more than it saves. */
+constexpr std::size_t kParallelMacThreshold = std::size_t{ 1 } << 15;
+
+bool
+allFinite(const Matrix &m)
+{
+    const float *p = m.data();
+    for (std::size_t i = 0, e = m.size(); i < e; ++i)
+        if (!std::isfinite(p[i]))
+            return false;
+    return true;
+}
+
+/**
+ * Rows [r0, r1) of C += A x B, blocked over k and j. Every output
+ * element accumulates its k terms in ascending k order — the same
+ * sequence as the classic serial i-k-j kernel — so the result is
+ * bit-identical regardless of blocking or which thread owns the rows.
+ * skip_zeros must only be set when B is entirely finite (0 * Inf/NaN
+ * must not be skipped); with finite B, skipping a zero A entry is
+ * exact because C rows can never hold -0 here (accumulators start at
+ * +0 and +0 + -0 == +0).
+ */
+void
+matmulRows(const Matrix &a, const Matrix &b, Matrix &c, std::size_t r0,
+           std::size_t r1, bool skip_zeros)
+{
+    const std::size_t depth = a.cols();
+    const std::size_t n = b.cols();
+    for (std::size_t kb = 0; kb < depth; kb += kKBlock) {
+        const std::size_t k_end = std::min(depth, kb + kKBlock);
+        for (std::size_t i = r0; i < r1; ++i) {
+            const float *arow = a.row(i);
+            float *crow = c.row(i);
+            for (std::size_t jb = 0; jb < n; jb += kJBlock) {
+                const std::size_t j_end = std::min(n, jb + kJBlock);
+                for (std::size_t k = kb; k < k_end; ++k) {
+                    const float aik = arow[k];
+                    if (skip_zeros && aik == 0.0f)
+                        continue;
+                    const float *brow = b.row(k);
+                    for (std::size_t j = jb; j < j_end; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+QuantizedOperand::update(const Matrix &source)
+{
+    bf16_ = source;
+    bf16_.quantizeBf16InPlace();
+    ++version_;
+}
+
 Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
     PROSE_ASSERT(a.cols() == b.rows(), "matmul inner-dim mismatch: ",
                  a.cols(), " vs ", b.rows());
     Matrix c(a.rows(), b.cols());
-    // i-k-j loop order keeps the inner loop streaming over rows of B.
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        float *crow = c.row(i);
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const float aik = a.row(i)[k];
-            if (aik == 0.0f)
-                continue;
-            const float *brow = b.row(k);
-            for (std::size_t j = 0; j < b.cols(); ++j)
-                crow[j] += aik * brow[j];
-        }
+    const bool skip_zeros = allFinite(b);
+    const std::size_t macs = a.rows() * a.cols() * b.cols();
+    if (macs < kParallelMacThreshold) {
+        matmulRows(a, b, c, 0, a.rows(), skip_zeros);
+        return c;
     }
+    ThreadPool::global().parallelFor(
+        a.rows(), [&](std::size_t r0, std::size_t r1) {
+            matmulRows(a, b, c, r0, r1, skip_zeros);
+        });
     return c;
 }
 
@@ -103,6 +168,17 @@ matmulBf16(const Matrix &a, const Matrix &b)
     bq.quantizeBf16InPlace();
     // Accumulate in fp32 like the 32-bit PE accumulators.
     return matmul(aq, bq);
+}
+
+Matrix
+matmulBf16(const Matrix &a, const QuantizedOperand &b)
+{
+    PROSE_ASSERT(!b.empty(), "matmulBf16 against an empty cached operand");
+    PROSE_ASSERT(a.cols() == b.bf16().rows(),
+                 "matmulBf16 inner-dim mismatch");
+    Matrix aq = a;
+    aq.quantizeBf16InPlace();
+    return matmul(aq, b.bf16());
 }
 
 Matrix
@@ -212,10 +288,15 @@ std::vector<Matrix>
 bmm(const std::vector<Matrix> &a, const std::vector<Matrix> &b)
 {
     PROSE_ASSERT(a.size() == b.size(), "bmm batch mismatch");
-    std::vector<Matrix> c;
-    c.reserve(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        c.push_back(matmul(a[i], b[i]));
+    std::vector<Matrix> c(a.size());
+    // Batch elements are independent; the per-element matmuls run
+    // inline inside this parallel region (nested calls never re-enter
+    // the pool).
+    ThreadPool::global().parallelFor(
+        a.size(), [&](std::size_t b0, std::size_t b1) {
+            for (std::size_t i = b0; i < b1; ++i)
+                c[i] = matmul(a[i], b[i]);
+        });
     return c;
 }
 

@@ -11,6 +11,7 @@
 #define PROSE_NUMERICS_MATRIX_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/random.hh"
@@ -73,7 +74,47 @@ class Matrix
     std::vector<float> data_;
 };
 
-/** C = A x B in fp32. */
+/**
+ * A constant operand pre-quantized to bfloat16 — the weight-cache entry
+ * of the bf16 matmul path. Quantizing a weight matrix costs one pass
+ * over the data; model weights are constant across forward passes, so
+ * callers quantize once per weight load (via the constructor or
+ * update()) instead of once per matmul call. update() bumps version(),
+ * which is how cache-invalidation tests observe a reload.
+ */
+class QuantizedOperand
+{
+  public:
+    /** Empty cache entry; must be update()d before use. */
+    QuantizedOperand() = default;
+
+    /** Quantize `source` once. */
+    explicit QuantizedOperand(const Matrix &source) { update(source); }
+
+    /** Re-quantize from a (possibly mutated) source matrix. */
+    void update(const Matrix &source);
+
+    bool empty() const { return bf16_.size() == 0; }
+
+    /** The bf16-quantized operand (values widened back to float). */
+    const Matrix &bf16() const { return bf16_; }
+
+    /** Incremented by every update(); 0 while empty. */
+    std::uint64_t version() const { return version_; }
+
+  private:
+    Matrix bf16_;
+    std::uint64_t version_ = 0;
+};
+
+/**
+ * C = A x B in fp32, cache-blocked and parallelized over row chunks on
+ * the shared ThreadPool. Per output element the k-accumulation order is
+ * exactly the classic serial i-k-j kernel's, so the result is
+ * bit-identical for any tiling or thread count. A zero-skip fast path
+ * is taken only when B is entirely finite, so Inf/NaN in B propagate
+ * through zero entries of A as IEEE demands.
+ */
 Matrix matmul(const Matrix &a, const Matrix &b);
 
 /**
@@ -82,6 +123,13 @@ Matrix matmul(const Matrix &a, const Matrix &b);
  * left in fp32 exactly as the 32-bit accumulators hold it.
  */
 Matrix matmulBf16(const Matrix &a, const Matrix &b);
+
+/**
+ * matmulBf16 against a pre-quantized (cached) right-hand operand.
+ * Bit-identical to matmulBf16(a, b) when `b` was built from the same
+ * source matrix; skips the per-call copy + quantization of the weights.
+ */
+Matrix matmulBf16(const Matrix &a, const QuantizedOperand &b);
 
 /** C = alpha*A + beta*B elementwise (the paper's MulAdd primitive). */
 Matrix mulAdd(float alpha, const Matrix &a, float beta, const Matrix &b);
@@ -111,7 +159,7 @@ Matrix rowSoftmax(const Matrix &a);
 Matrix layerNorm(const Matrix &a, const std::vector<float> &gamma,
                  const std::vector<float> &beta, float eps = 1e-12f);
 
-/** Batched matmul: C[i] = A[i] x B[i]. */
+/** Batched matmul: C[i] = A[i] x B[i], batch-parallel on the pool. */
 std::vector<Matrix> bmm(const std::vector<Matrix> &a,
                         const std::vector<Matrix> &b);
 

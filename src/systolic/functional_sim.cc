@@ -4,6 +4,7 @@
 
 #include "numerics/host_kernels.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "numerics/bfloat16.hh"
 
 namespace prose {
@@ -112,14 +113,14 @@ FunctionalSimulator::dataflow3(const std::vector<Matrix> &q,
 {
     PROSE_ASSERT(q.size() == k.size() && k.size() == v.size(),
                  "dataflow 3 batch mismatch");
-    std::vector<Matrix> context;
-    context.reserve(q.size());
-    for (std::size_t batch = 0; batch < q.size(); ++batch) {
+    std::vector<Matrix> context(q.size());
+    auto runOne = [&](SystolicArray &array, std::size_t batch) {
         // BMM1 fused with MatDiv (MulScalar by the reciprocal) and Exp,
         // streaming out to the host.
         const Matrix kt = transpose(k[batch]);
-        const Matrix exp_scores = runFused(
-            eArray_, q[batch], kt, inv_scale, nullptr, true, SimdOp::Exp);
+        const Matrix exp_scores = runFused(array, q[batch], kt,
+                                           inv_scale, nullptr, true,
+                                           SimdOp::Exp);
 
         // Host-side softmax sum/divide (the real host kernel); the
         // normalized probabilities return to the accelerator as bf16.
@@ -127,9 +128,36 @@ FunctionalSimulator::dataflow3(const std::vector<Matrix> &q,
         hostSoftmaxDivide(probs);
 
         // BMM2: context = P x V (no fused SIMD op beyond the drain).
-        context.push_back(runFused(eArray_, probs, v[batch], 1.0f,
-                                   nullptr, false, SimdOp::MulScalar));
+        context[batch] = runFused(array, probs, v[batch], 1.0f, nullptr,
+                                  false, SimdOp::MulScalar);
+    };
+
+    // Batch elements are independent, so the per-cycle PE sweep can run
+    // batch-parallel on clone arrays whose counters are folded back in
+    // afterwards; with the idealized stream buffers the functional path
+    // uses, every clone's cycle count equals its serial-schedule share,
+    // so results AND statistics are bit-identical to the serial loop.
+    // Fault-injected or ABFT-checked runs stay strictly serial: the
+    // injector's corruption sequence and the checker's accounting are
+    // order-dependent, and the deterministic replay contract
+    // (docs/FAULT_MODEL.md) depends on that order.
+    if (eArray_.hasFaultInjector() || abft_.options().enabled ||
+        q.size() < 2) {
+        for (std::size_t batch = 0; batch < q.size(); ++batch)
+            runOne(eArray_, batch);
+        return context;
     }
+    std::vector<SystolicArray> clones;
+    clones.reserve(q.size());
+    for (std::size_t batch = 0; batch < q.size(); ++batch)
+        clones.emplace_back(eArray_.geometry());
+    ThreadPool::global().parallelFor(
+        q.size(), [&](std::size_t b0, std::size_t b1) {
+            for (std::size_t batch = b0; batch < b1; ++batch)
+                runOne(clones[batch], batch);
+        });
+    for (const SystolicArray &clone : clones)
+        eArray_.absorbStats(clone);
     return context;
 }
 

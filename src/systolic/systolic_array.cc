@@ -326,6 +326,16 @@ SystolicArray::overwriteAccumulator(std::size_t row, std::size_t col,
 }
 
 void
+SystolicArray::absorbStats(const SystolicArray &other)
+{
+    matmulCycles_ += other.matmulCycles_;
+    simdCycles_ += other.simdCycles_;
+    stallCycles_ += other.stallCycles_;
+    macCount_ += other.macCount_;
+    simdOpCount_ += other.simdOpCount_;
+}
+
+void
 SystolicArray::setFaultInjector(FaultInjector *injector,
                                 std::string site_id)
 {

@@ -130,6 +130,16 @@ class SystolicArray
 
     const ArrayGeometry &geometry() const { return geometry_; }
 
+    /** True while a fault injector is attached. */
+    bool hasFaultInjector() const { return injector_ != nullptr; }
+
+    /**
+     * Fold another array's cycle/MAC/stall counters into this one —
+     * used when batch-parallel work ran on clone arrays and their
+     * activity must be accounted to this (the architectural) array.
+     */
+    void absorbStats(const SystolicArray &other);
+
     /** @name Statistics @{ */
     std::uint64_t matmulCycles() const { return matmulCycles_; }
     std::uint64_t simdCycles() const { return simdCycles_; }

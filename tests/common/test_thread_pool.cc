@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the prose::compute thread pool: coverage, determinism,
+ * reentrancy, serial forcing, exception propagation, and the
+ * PROSE_THREADS spec parser.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+namespace prose {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (std::size_t n : { 0ul, 1ul, 2ul, 3ul, 17ul, 64ul, 1000ul }) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h.store(0);
+        pool.parallelFor(n, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(ThreadPool, ChunksArePartitionOfRange)
+{
+    ThreadPool pool(3);
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    pool.parallelFor(101, [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard<std::mutex> lock(m);
+        ranges.emplace_back(lo, hi);
+    });
+    std::size_t covered = 0;
+    std::set<std::size_t> starts;
+    for (const auto &[lo, hi] : ranges) {
+        EXPECT_LT(lo, hi);
+        EXPECT_TRUE(starts.insert(lo).second);
+        covered += hi - lo;
+    }
+    EXPECT_EQ(covered, 101u);
+}
+
+TEST(ThreadPool, MaxChunksBoundsConcurrency)
+{
+    ThreadPool pool(8);
+    std::mutex m;
+    std::size_t calls = 0;
+    pool.parallelFor(1000, 2, [&](std::size_t, std::size_t) {
+        std::lock_guard<std::mutex> lock(m);
+        ++calls;
+    });
+    EXPECT_LE(calls, 2u);
+    EXPECT_GE(calls, 1u);
+}
+
+TEST(ThreadPool, SameSumForAnyPoolSize)
+{
+    // The pool only partitions the index space; a chunk-local
+    // reduction folded in chunk order is identical for any lane count
+    // because chunk boundaries depend only on n and chunk count.
+    auto run = [](ThreadPool &pool) {
+        std::vector<double> vals(997);
+        for (std::size_t i = 0; i < vals.size(); ++i)
+            vals[i] = 1.0 / static_cast<double>(i + 1);
+        std::mutex m;
+        std::vector<std::pair<std::size_t, double>> partials;
+        pool.parallelFor(vals.size(), [&](std::size_t lo, std::size_t hi) {
+            double acc = 0.0;
+            for (std::size_t i = lo; i < hi; ++i)
+                acc += vals[i];
+            std::lock_guard<std::mutex> lock(m);
+            partials.emplace_back(lo, acc);
+        });
+        std::sort(partials.begin(), partials.end());
+        double total = 0.0;
+        for (const auto &[lo, acc] : partials)
+            total += acc;
+        return total;
+    };
+    ThreadPool serial(1), quad(4);
+    // Chunk count differs (1 vs 16), so the folded sums may differ in
+    // rounding; rerunning the same pool must be bit-stable though.
+    EXPECT_EQ(run(quad), run(quad));
+    EXPECT_EQ(run(serial), run(serial));
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner_total{ 0 };
+    pool.parallelFor(8, [&](std::size_t lo, std::size_t hi) {
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        const std::thread::id outer = std::this_thread::get_id();
+        for (std::size_t i = lo; i < hi; ++i) {
+            pool.parallelFor(10, [&](std::size_t ilo, std::size_t ihi) {
+                // Inline: same thread, one chunk spanning the range.
+                EXPECT_EQ(std::this_thread::get_id(), outer);
+                EXPECT_EQ(ilo, 0u);
+                EXPECT_EQ(ihi, 10u);
+                inner_total.fetch_add(static_cast<int>(ihi - ilo));
+            });
+        }
+    });
+    EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPool, SerialGuardForcesInline)
+{
+    ThreadPool pool(4);
+    ThreadPool::SerialGuard guard;
+    EXPECT_TRUE(ThreadPool::inParallelRegion());
+    std::set<std::thread::id> threads;
+    pool.parallelFor(64, [&](std::size_t lo, std::size_t hi) {
+        threads.insert(std::this_thread::get_id());
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 64u);
+    });
+    EXPECT_EQ(threads.size(), 1u);
+    EXPECT_EQ(*threads.begin(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAllComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{ 0 };
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&] {
+            for (int rep = 0; rep < 25; ++rep)
+                pool.parallelFor(40, [&](std::size_t lo, std::size_t hi) {
+                    total.fetch_add(static_cast<int>(hi - lo));
+                });
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    EXPECT_EQ(total.load(), 4 * 25 * 40);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t lo, std::size_t) {
+                             if (lo == 0)
+                                 throw std::runtime_error("chunk failed");
+                         }),
+        std::runtime_error);
+    // The pool survives and accepts further work.
+    std::atomic<int> count{ 0 };
+    pool.parallelFor(10, [&](std::size_t lo, std::size_t hi) {
+        count.fetch_add(static_cast<int>(hi - lo));
+    });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, GlobalOverrideRedirectsGlobal)
+{
+    ThreadPool pool(3);
+    ThreadPool::setGlobalOverride(&pool);
+    EXPECT_EQ(&ThreadPool::global(), &pool);
+    ThreadPool::setGlobalOverride(nullptr);
+    EXPECT_NE(&ThreadPool::global(), &pool);
+}
+
+TEST(ThreadPool, ParseThreadsSpec)
+{
+    EXPECT_EQ(ThreadPool::parseThreadsSpec(nullptr, 6), 6u);
+    EXPECT_EQ(ThreadPool::parseThreadsSpec("", 6), 6u);
+    EXPECT_EQ(ThreadPool::parseThreadsSpec("1", 6), 1u);
+    EXPECT_EQ(ThreadPool::parseThreadsSpec("16", 6), 16u);
+    EXPECT_EQ(ThreadPool::parseThreadsSpec("0", 6), 6u);
+    EXPECT_EQ(ThreadPool::parseThreadsSpec("-3", 6), 6u);
+    EXPECT_EQ(ThreadPool::parseThreadsSpec("banana", 6), 6u);
+    EXPECT_EQ(ThreadPool::parseThreadsSpec("8x", 6), 6u);
+    EXPECT_EQ(ThreadPool::parseThreadsSpec("99999", 6), 6u);
+    // Fallback itself is clamped to a sane floor.
+    EXPECT_GE(ThreadPool::parseThreadsSpec(nullptr, 0), 1u);
+}
+
+TEST(ThreadPool, ZeroAndOneIndexRunInline)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t lo, std::size_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 1u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+} // namespace
+} // namespace prose

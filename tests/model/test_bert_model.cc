@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.hh"
 #include "model/bert_model.hh"
 #include "model/tokenizer.hh"
 
@@ -213,6 +214,50 @@ TEST(BertModelDeathTest, EmptyBatchPanics)
 {
     BertModel model(BertConfig::tiny(), 7);
     EXPECT_DEATH(model.forward({}), "empty batch");
+}
+
+TEST(BertModelWeightCache, SetWeightsInvalidatesBf16Cache)
+{
+    const BertConfig config = BertConfig::tiny();
+    BertModel a(config, 1);
+    const BertModel b(config, 2);
+    const auto batch = encodeBatch({ "MKVLAA" }, 12);
+
+    const auto before = a.forward(batch, NumericsMode::Bf16);
+    const std::uint64_t v0 = a.weightCacheVersion();
+
+    a.setWeights(b.weights());
+    EXPECT_GT(a.weightCacheVersion(), v0);
+
+    // With the cache rebuilt, model a must now produce b's outputs
+    // bit-for-bit in the cached-bf16 numerics path.
+    const auto swapped = a.forward(batch, NumericsMode::Bf16);
+    const auto want = b.forward(batch, NumericsMode::Bf16);
+    EXPECT_EQ(Matrix::maxAbsDiff(swapped.hidden, want.hidden), 0.0f);
+    EXPECT_EQ(Matrix::maxAbsDiff(swapped.pooled, want.pooled), 0.0f);
+    EXPECT_NE(Matrix::maxAbsDiff(swapped.hidden, before.hidden), 0.0f);
+}
+
+TEST(BertModelPooled, ForwardBitIdenticalSerialVsPooled)
+{
+    ThreadPool pool(4);
+    const BertModel model(BertConfig::tiny(), 11);
+    const auto batch = encodeBatch({ "ACDEFGHIKL", "MNPQRSTVWY" }, 16);
+    for (const NumericsMode mode :
+         { NumericsMode::Fp32, NumericsMode::Bf16, NumericsMode::Bf16Lut }) {
+        BertModel::Output serial;
+        {
+            ThreadPool::SerialGuard guard;
+            serial = model.forward(batch, mode);
+        }
+        ThreadPool::setGlobalOverride(&pool);
+        const auto pooled = model.forward(batch, mode);
+        ThreadPool::setGlobalOverride(nullptr);
+        EXPECT_EQ(Matrix::maxAbsDiff(serial.hidden, pooled.hidden), 0.0f)
+            << "mode " << static_cast<int>(mode);
+        EXPECT_EQ(Matrix::maxAbsDiff(serial.pooled, pooled.pooled), 0.0f)
+            << "mode " << static_cast<int>(mode);
+    }
 }
 
 } // namespace

@@ -156,5 +156,37 @@ TEST(RidgeDeathTest, NonPositivePenaltyPanics)
     EXPECT_DEATH(ridgeFit(x, y, 0.0), "positive penalty");
 }
 
+TEST(Ridge, IllScaledFeaturesRecoverWeights)
+{
+    // Feature scales spanning six orders of magnitude: accumulating the
+    // Gram matrix through float storage loses enough precision here
+    // that the recovered weights drift visibly; the double-precision
+    // accumulation keeps them tight.
+    Rng rng(404);
+    const std::size_t n = 4000;
+    const double scales[3] = { 1e3, 1.0, 1e-3 };
+    const double true_w[3] = { 0.5, -2.0, 40.0 };
+    Matrix x(n, 3);
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double target = 3.0;
+        for (std::size_t j = 0; j < 3; ++j) {
+            const double xij = rng.gaussian() * scales[j];
+            x(i, j) = static_cast<float>(xij);
+            // Build y from the float-rounded feature the fit sees.
+            target += true_w[j] * static_cast<double>(x(i, j));
+        }
+        y[i] = target;
+    }
+    const RidgeModel model = ridgeFit(x, y, 1e-8);
+    ASSERT_EQ(model.weights.size(), 3u);
+    for (std::size_t j = 0; j < 3; ++j)
+        EXPECT_NEAR(model.weights[j] * scales[j],
+                    true_w[j] * scales[j],
+                    5e-3 * std::abs(true_w[j]) * scales[j])
+            << "feature " << j;
+    EXPECT_NEAR(model.intercept, 3.0, 0.05);
+}
+
 } // namespace
 } // namespace prose

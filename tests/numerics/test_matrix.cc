@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "common/random.hh"
+#include "common/thread_pool.hh"
 #include "numerics/activations.hh"
 #include "numerics/bfloat16.hh"
 #include "numerics/matrix.hh"
@@ -275,6 +278,186 @@ TEST(QuantizeBf16InPlace, EveryElementRepresentable)
     for (std::size_t i = 0; i < 5; ++i)
         for (std::size_t j = 0; j < 5; ++j)
             EXPECT_EQ(a(i, j), quantizeBf16(a(i, j)));
+}
+
+// --- Pooled/tiled kernel bit-exactness --------------------------------
+
+/** Textbook i-k-j matmul: the accumulation-order reference the tiled
+ *  kernel promises to reproduce bit-for-bit. */
+Matrix
+naiveMatmul(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t k = 0; k < a.cols(); ++k)
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += a(i, k) * b(k, j);
+    return c;
+}
+
+struct GemmShape
+{
+    std::size_t m, k, n;
+};
+
+// Odd/even and tile-straddling shapes (kernel blocks: k=128, j=256).
+const GemmShape kShapes[] = {
+    { 1, 1, 1 },     { 3, 5, 2 },      { 64, 64, 64 },
+    { 65, 129, 33 }, { 127, 128, 257 }, { 130, 300, 70 },
+};
+
+TEST(MatmulPooled, BitIdenticalToNaiveSerial)
+{
+    ThreadPool pool(4);
+    ThreadPool::setGlobalOverride(&pool);
+    Rng rng(21);
+    for (const GemmShape &s : kShapes) {
+        const Matrix a = randomMatrix(rng, s.m, s.k);
+        const Matrix b = randomMatrix(rng, s.k, s.n);
+        EXPECT_EQ(Matrix::maxAbsDiff(matmul(a, b), naiveMatmul(a, b)),
+                  0.0f)
+            << s.m << "x" << s.k << "x" << s.n;
+    }
+    ThreadPool::setGlobalOverride(nullptr);
+}
+
+TEST(MatmulPooled, SerialGuardMatchesPooledBitwise)
+{
+    ThreadPool pool(4);
+    ThreadPool::setGlobalOverride(&pool);
+    Rng rng(22);
+    const Matrix a = randomMatrix(rng, 130, 300);
+    const Matrix b = randomMatrix(rng, 300, 70);
+    const Matrix pooled = matmul(a, b);
+    Matrix serial;
+    {
+        ThreadPool::SerialGuard guard;
+        serial = matmul(a, b);
+    }
+    EXPECT_EQ(Matrix::maxAbsDiff(pooled, serial), 0.0f);
+    ThreadPool::setGlobalOverride(nullptr);
+}
+
+TEST(MatmulPooled, Bf16BitIdenticalAcrossPoolSizes)
+{
+    Rng rng(23);
+    for (const GemmShape &s : kShapes) {
+        const Matrix a = randomMatrix(rng, s.m, s.k);
+        const Matrix b = randomMatrix(rng, s.k, s.n);
+        Matrix aq = a, bq = b;
+        aq.quantizeBf16InPlace();
+        bq.quantizeBf16InPlace();
+        const Matrix want = naiveMatmul(aq, bq);
+        Matrix serial;
+        {
+            ThreadPool::SerialGuard guard;
+            serial = matmulBf16(a, b);
+        }
+        ThreadPool pool(3);
+        ThreadPool::setGlobalOverride(&pool);
+        const Matrix pooled = matmulBf16(a, b);
+        ThreadPool::setGlobalOverride(nullptr);
+        EXPECT_EQ(Matrix::maxAbsDiff(serial, want), 0.0f);
+        EXPECT_EQ(Matrix::maxAbsDiff(pooled, want), 0.0f);
+    }
+}
+
+TEST(MatmulPooled, BmmMatchesPerElementMatmul)
+{
+    ThreadPool pool(4);
+    ThreadPool::setGlobalOverride(&pool);
+    Rng rng(24);
+    std::vector<Matrix> as, bs;
+    for (int i = 0; i < 5; ++i) {
+        as.push_back(randomMatrix(rng, 9, 13));
+        bs.push_back(randomMatrix(rng, 13, 7));
+    }
+    const std::vector<Matrix> cs = bmm(as, bs);
+    ASSERT_EQ(cs.size(), as.size());
+    for (std::size_t i = 0; i < as.size(); ++i)
+        EXPECT_EQ(Matrix::maxAbsDiff(cs[i], naiveMatmul(as[i], bs[i])),
+                  0.0f);
+    ThreadPool::setGlobalOverride(nullptr);
+}
+
+// --- Non-finite propagation (the aik == 0 skip regression) ------------
+
+TEST(Matmul, ZeroTimesInfInBProducesNaN)
+{
+    Matrix a(1, 2);
+    a(0, 0) = 0.0f;
+    a(0, 1) = 1.0f;
+    Matrix b(2, 1);
+    b(0, 0) = std::numeric_limits<float>::infinity();
+    b(1, 0) = 1.0f;
+    // 0 * Inf must poison the accumulator; the old zero-skip fast path
+    // dropped the term and returned 1.0.
+    EXPECT_TRUE(std::isnan(matmul(a, b)(0, 0)));
+}
+
+TEST(Matmul, NaNInBPropagatesThroughZeroRow)
+{
+    Matrix a(2, 2); // all zeros
+    Matrix b(2, 2);
+    b(1, 1) = std::numeric_limits<float>::quiet_NaN();
+    const Matrix c = matmul(a, b);
+    EXPECT_TRUE(std::isnan(c(0, 1)));
+    EXPECT_TRUE(std::isnan(c(1, 1)));
+    EXPECT_EQ(c(0, 0), 0.0f);
+}
+
+TEST(Matmul, SparseFiniteInputsStayBitExact)
+{
+    // With an all-finite B the zero-skip fast path must stay
+    // bit-identical to the unskipped reference.
+    Rng rng(25);
+    Matrix a = randomMatrix(rng, 33, 65);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (rng.uniform() < 0.7)
+                a(i, j) = (rng.uniform() < 0.5) ? 0.0f : -0.0f;
+    const Matrix b = randomMatrix(rng, 65, 17);
+    EXPECT_EQ(Matrix::maxAbsDiff(matmul(a, b), naiveMatmul(a, b)), 0.0f);
+}
+
+// --- QuantizedOperand weight cache ------------------------------------
+
+TEST(QuantizedOperand, MatchesPerCallQuantizationBitwise)
+{
+    Rng rng(26);
+    const Matrix a = randomMatrix(rng, 19, 31);
+    const Matrix w = randomMatrix(rng, 31, 11);
+    const QuantizedOperand cached(w);
+    EXPECT_EQ(cached.version(), 1u);
+    EXPECT_EQ(Matrix::maxAbsDiff(matmulBf16(a, cached), matmulBf16(a, w)),
+              0.0f);
+}
+
+TEST(QuantizedOperand, UpdateTracksMutatedWeights)
+{
+    Rng rng(27);
+    const Matrix a = randomMatrix(rng, 6, 8);
+    Matrix w = randomMatrix(rng, 8, 4);
+    QuantizedOperand cached(w);
+    const std::uint64_t v1 = cached.version();
+
+    w(3, 2) += 64.0f; // well outside bf16 rounding noise
+    cached.update(w);
+    EXPECT_GT(cached.version(), v1);
+    EXPECT_EQ(Matrix::maxAbsDiff(matmulBf16(a, cached), matmulBf16(a, w)),
+              0.0f);
+}
+
+TEST(QuantizedOperand, DefaultIsEmpty)
+{
+    QuantizedOperand op;
+    EXPECT_TRUE(op.empty());
+    EXPECT_EQ(op.version(), 0u);
+    Rng rng(28);
+    const Matrix w = randomMatrix(rng, 3, 3);
+    op.update(w);
+    EXPECT_FALSE(op.empty());
+    EXPECT_EQ(op.version(), 1u);
 }
 
 } // namespace

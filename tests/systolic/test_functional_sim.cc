@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/random.hh"
+#include "common/thread_pool.hh"
 #include "numerics/activations.hh"
 #include "numerics/bfloat16.hh"
 #include "numerics/lut.hh"
@@ -240,6 +241,37 @@ TEST(FunctionalSimDeathTest, MismatchedBatchPanics)
                            randomMatrix(rng, 4, 4) };
     std::vector<Matrix> v{ randomMatrix(rng, 4, 4) };
     EXPECT_DEATH(sim.dataflow3(q, k, v, 1.0f), "batch mismatch");
+}
+
+TEST(FunctionalSim, Dataflow3BatchParallelMatchesSerial)
+{
+    // A multi-element batch takes the clone-array fan-out; running each
+    // element alone (batch 1 stays on the serial path) must give the
+    // same matrices bit-for-bit AND the same cycle/MAC accounting.
+    ThreadPool pool(4);
+    ThreadPool::setGlobalOverride(&pool);
+    Rng rng(31);
+    std::vector<Matrix> q, k, v;
+    for (int b = 0; b < 4; ++b) {
+        q.push_back(randomMatrix(rng, 9, 6, 0.3f));
+        k.push_back(randomMatrix(rng, 9, 6, 0.3f));
+        v.push_back(randomMatrix(rng, 9, 6, 0.3f));
+    }
+
+    FunctionalSimulator batched = makeSim();
+    const std::vector<Matrix> ctx = batched.dataflow3(q, k, v, 0.4f);
+    ThreadPool::setGlobalOverride(nullptr);
+
+    FunctionalSimulator serial = makeSim();
+    ASSERT_EQ(ctx.size(), q.size());
+    for (std::size_t b = 0; b < q.size(); ++b) {
+        const auto one =
+            serial.dataflow3({ q[b] }, { k[b] }, { v[b] }, 0.4f);
+        EXPECT_EQ(Matrix::maxAbsDiff(ctx[b], one[0]), 0.0f) << "batch " << b;
+    }
+    EXPECT_EQ(batched.matmulCycles(), serial.matmulCycles());
+    EXPECT_EQ(batched.simdCycles(), serial.simdCycles());
+    EXPECT_EQ(batched.macCount(), serial.macCount());
 }
 
 } // namespace
