@@ -8,8 +8,12 @@
  * efficiency gap.
  */
 
+#include <chrono>
+
 #include "baseline/tpu_dataflow.hh"
 #include "bench_util.hh"
+#include "common/logging.hh"
+#include "dse/dse_engine.hh"
 
 using namespace prose;
 using namespace prose::bench;
@@ -25,6 +29,51 @@ addRow(Table &table, const std::string &name, const DataflowTrip &trip)
                    Table::fmt(trip.weightBytes / 1e6, 3),
                    Table::fmt(trip.hostStreamBytes / 1e6, 2),
                    Table::fmt(trip.movementEnergyJoules() * 1e3, 3) });
+}
+
+/**
+ * Ground the analytic step counts above in the register-accurate
+ * simulator: run the DSE validation probes in the requested engine mode
+ * and report measured vs closed-form cycles, plus wall time per engine.
+ */
+void
+functionalCrossCheck()
+{
+    const FsimMode mode = defaultFsimMode();
+    banner(std::string("Functional-simulator cross-check "
+                       "(PROSE_FSIM_MODE=") +
+           toString(mode) + ")");
+
+    DseWorkload workload;
+    workload.a100Seconds = 1.0; // skip the baseline model; unused here
+    const DseEngine engine(workload);
+
+    std::vector<FsimMode> probes{ mode };
+    for (FsimMode extra : { FsimMode::Fast, FsimMode::Stepped })
+        if (extra != mode)
+            probes.push_back(extra);
+
+    Table table({ "engine", "matmul-cycles", "model-cycles", "MACs",
+                  "max|err|", "ok", "wall(ms)" });
+    for (FsimMode probe : probes) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const DseValidationReport report =
+            engine.validate(ProseConfig::bestPerf(), probe);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        table.addRow(
+            { toString(probe),
+              Table::fmtInt(static_cast<long long>(report.fsimMatmulCycles)),
+              Table::fmtInt(static_cast<long long>(report.modelMatmulCycles)),
+              Table::fmtInt(static_cast<long long>(report.macCount)),
+              Table::fmt(report.maxAbsError, 3),
+              report.ok ? "yes" : "NO", Table::fmt(ms, 2) });
+        if (!report.ok)
+            fatal("functional cross-check failed in %s mode",
+                  toString(probe));
+    }
+    table.print(std::cout);
 }
 
 } // namespace
@@ -68,5 +117,7 @@ main()
                  "intermediate living in the PE accumulators — the "
                  "mechanism behind the Figure 19\npower-efficiency "
                  "gap.\n";
+
+    functionalCrossCheck();
     return 0;
 }

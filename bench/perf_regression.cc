@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,6 +36,7 @@
 #include "model/bert_model.hh"
 #include "model/tokenizer.hh"
 #include "numerics/matrix.hh"
+#include "systolic/functional_sim.hh"
 #include "trace/dataflow.hh"
 
 using namespace prose;
@@ -112,6 +114,62 @@ endToEndChain(const BertModel &model, const AminoTokenizer &tokenizer,
            report.makespan;
 }
 
+/** Pre-generated operands of one BERT encoder layer (see below). */
+struct LayerInputs
+{
+    std::size_t seq, hidden, heads, inter, batch;
+    Matrix x, wQkv, wOut, wUp, wDown, biasUp;
+
+    LayerInputs(Rng &rng, std::size_t seq_, std::size_t hidden_,
+                std::size_t heads_, std::size_t inter_, std::size_t batch_)
+        : seq(seq_), hidden(hidden_), heads(heads_), inter(inter_),
+          batch(batch_), x(randomMatrix(rng, seq, hidden)),
+          wQkv(randomMatrix(rng, hidden, hidden)),
+          wOut(randomMatrix(rng, hidden / heads, hidden)),
+          wUp(randomMatrix(rng, hidden, inter)),
+          wDown(randomMatrix(rng, inter, hidden)),
+          biasUp(randomMatrix(rng, 1, inter))
+    {
+    }
+};
+
+/**
+ * One BERT encoder layer on the register-accurate functional simulator
+ * following the Figure 8 dataflow chain (1 -> 3 -> 1 -> 2 -> 1): QKV
+ * projection, batched attention with the host softmax trip, attention
+ * output projection, the GELU-fused FFN expansion, and the FFN
+ * contraction. Exercises all three arrays in the given engine mode.
+ * Operand generation is hoisted into LayerInputs so the measurement is
+ * dominated by the simulator engines, not the host RNG.
+ */
+double
+fsimBertLayer(FsimMode mode, const LayerInputs &in)
+{
+    FunctionalSimulator fsim;
+    fsim.setMode(mode);
+    const std::size_t dk = in.hidden / in.heads;
+
+    const Matrix qkv = fsim.dataflow1(in.x, in.wQkv, 1.0f, nullptr);
+
+    std::vector<Matrix> q, k, v;
+    for (std::size_t b = 0; b < in.batch * in.heads; ++b) {
+        Matrix head(in.seq, dk);
+        const std::size_t col0 = (b * dk) % in.hidden;
+        for (std::size_t i = 0; i < in.seq; ++i)
+            std::copy_n(qkv.row(i) + col0, dk, head.row(i));
+        q.push_back(head);
+        k.push_back(head);
+        v.push_back(std::move(head));
+    }
+    const std::vector<Matrix> attn =
+        fsim.dataflow3(q, k, v, 1.0f / std::sqrt(double(dk)));
+
+    const Matrix proj = fsim.dataflow1(attn.front(), in.wOut, 1.0f, &in.x);
+    const Matrix up = fsim.dataflow2(proj, in.wUp, 1.0f, &in.biasUp);
+    const Matrix down = fsim.dataflow1(up, in.wDown, 1.0f, &proj);
+    return down(0, 0) + static_cast<double>(fsim.matmulCycles());
+}
+
 std::string
 jsonEscapeless(double v)
 {
@@ -154,6 +212,7 @@ main(int argc, char **argv)
 
     Rng rng(20260806);
     std::vector<BenchResult> results;
+    double fsim_layer_speedup = 0.0;
 
     // --- Raw kernels: fp32 serial vs pooled ---------------------------
     struct GemmShape
@@ -189,18 +248,23 @@ main(int argc, char **argv)
     }
 
     // --- bf16 path: per-call quantization vs cached weights -----------
-    {
-        const std::size_t m = quick ? 128 : 512;
+    // Shape-qualified names; the full run is a superset of the quick
+    // run so quick CI medians always find a like-for-like baseline.
+    std::vector<std::size_t> bf16_ms = { 128 };
+    if (!quick)
+        bf16_ms.push_back(512);
+    for (const std::size_t m : bf16_ms) {
         const Matrix a = randomMatrix(rng, m, kWidth);
         const Matrix w = randomMatrix(rng, kWidth, kWidth);
         const QuantizedOperand cached(w);
+        const std::string tag = "_m" + std::to_string(m);
         results.push_back(
-            timeBench("matmulBf16_percall_quant", repeats, [&] {
+            timeBench("matmulBf16_percall_quant" + tag, repeats, [&] {
                 volatile float sink = matmulBf16(a, w)(0, 0);
                 (void)sink;
             }));
         results.push_back(
-            timeBench("matmulBf16_cached_weights", repeats, [&] {
+            timeBench("matmulBf16_cached_weights" + tag, repeats, [&] {
                 volatile float sink = matmulBf16(a, cached)(0, 0);
                 (void)sink;
             }));
@@ -242,6 +306,50 @@ main(int argc, char **argv)
             }));
     }
 
+    // --- Functional simulator: one BERT layer, fast vs stepped --------
+    {
+        // The small layer keeps the stepped engine inside the CI smoke
+        // budget; the full run adds a BERT-base layer (H=768, FFN=3072)
+        // whose reduction depths amortize the wavefront overhead both
+        // engines pay per tile — the recorded speedup comes from it.
+        struct LayerShape
+        {
+            std::size_t seq, hidden, heads, inter, batch;
+        };
+        std::vector<LayerShape> layers = { { 64, 64, 4, 128, 2 } };
+        if (!quick)
+            layers.push_back({ 128, 768, 12, 3072, 1 });
+        const std::size_t stepped_repeats =
+            quick ? 1 : std::max<std::size_t>(1, repeats / 2 + 1);
+        for (const LayerShape &shape : layers) {
+            const LayerInputs layer(rng, shape.seq, shape.hidden,
+                                    shape.heads, shape.inter, shape.batch);
+            const std::string tag = "_s" + std::to_string(shape.seq) +
+                                    "_h" + std::to_string(shape.hidden);
+            results.push_back(
+                timeBench("fsim_bert_layer_fast" + tag, repeats, [&] {
+                    volatile double sink =
+                        fsimBertLayer(FsimMode::Fast, layer);
+                    (void)sink;
+                }));
+            results.push_back(
+                timeBench("fsim_bert_layer_stepped" + tag,
+                          stepped_repeats, [&] {
+                              volatile double sink =
+                                  fsimBertLayer(FsimMode::Stepped, layer);
+                              (void)sink;
+                          }));
+            const double fast_ms = results[results.size() - 2].medianMs;
+            const double stepped_ms = results.back().medianMs;
+            fsim_layer_speedup = stepped_ms / fast_ms;
+            std::cout << "fsim fast-forward speedup (one BERT layer, "
+                      << "DF1+3+1+2+1, s=" << shape.seq
+                      << " h=" << shape.hidden
+                      << "): " << Table::fmt(fsim_layer_speedup, 1)
+                      << "x\n\n";
+        }
+    }
+
     // --- Report -------------------------------------------------------
     Table table({ "bench", "median ms", "p10 ms", "p90 ms", "n" });
     for (const BenchResult &r : results) {
@@ -258,6 +366,8 @@ main(int argc, char **argv)
          << "  \"schema\": \"prose-perf-v1\",\n"
          << "  \"threads\": " << threads << ",\n"
          << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+         << "  \"fsim_layer_speedup\": "
+         << jsonEscapeless(fsim_layer_speedup) << ",\n"
          << "  \"benches\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];

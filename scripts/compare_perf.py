@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_regression run against a committed baseline.
+
+Usage: compare_perf.py BASELINE.json CURRENT.json [--threshold 2.0]
+                       [--floor-ms 20.0]
+
+Both files follow the prose-perf-v1 schema emitted by
+bench/perf_regression. Only benches present in BOTH files are compared
+(the quick CI configuration runs a subset of the full suite, and
+shape-qualified names keep differently-sized variants apart). A bench
+regresses when its current median exceeds `threshold` times the baseline
+median AND the absolute floor — sub-floor benches are too fast for
+shared-runner noise to be meaningful. Exits 1 if anything regressed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "prose-perf-v1":
+        sys.exit(f"{path}: unknown schema {data.get('schema')!r}")
+    return {b["name"]: b for b in data["benches"]}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="regression factor on median ms (default 2)")
+    parser.add_argument("--floor-ms", type=float, default=20.0,
+                        help="ignore benches whose current median is "
+                             "below this (default 20 ms)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        sys.exit("no benches in common between baseline and current run")
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    if only_base:
+        print(f"note: {len(only_base)} baseline bench(es) not run here: "
+              + ", ".join(only_base))
+    if only_cur:
+        print(f"note: {len(only_cur)} new bench(es) without a baseline: "
+              + ", ".join(only_cur))
+
+    width = max(len(n) for n in shared)
+    regressions = []
+    print(f"{'bench':<{width}}  {'base ms':>10}  {'now ms':>10}  ratio")
+    for name in shared:
+        base_ms = baseline[name]["median_ms"]
+        cur_ms = current[name]["median_ms"]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        regressed = (cur_ms > args.threshold * base_ms
+                     and cur_ms > args.floor_ms)
+        mark = "  << REGRESSED" if regressed else ""
+        print(f"{name:<{width}}  {base_ms:>10.3f}  {cur_ms:>10.3f}  "
+              f"{ratio:>5.2f}x{mark}")
+        if regressed:
+            regressions.append(name)
+
+    if regressions:
+        print(f"\n{len(regressions)} bench(es) regressed beyond "
+              f"{args.threshold}x: " + ", ".join(regressions))
+        return 1
+    print(f"\nok: no bench regressed beyond {args.threshold}x "
+          f"(floor {args.floor_ms} ms) across {len(shared)} shared "
+          "bench(es)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <queue>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -212,54 +214,46 @@ PerfSim::runTasks(
     };
     std::vector<ThreadState> threads(thread_tasks.size());
 
-    const double inf = std::numeric_limits<double>::infinity();
-    while (true) {
-        // Pick the thread whose next task can start earliest.
-        double best_start = inf;
-        std::size_t best_thread = 0;
-        int best_array = -1;
-        std::size_t best_host_slot = 0;
-
-        for (std::size_t t = 0; t < threads.size(); ++t) {
-            ThreadState &ts = threads[t];
-            if (ts.next >= thread_tasks[t].size())
-                continue;
-            const DataflowTask &task = thread_tasks[t][ts.next];
-            double start;
-            int array_idx = -1;
-            std::size_t host_slot = 0;
-            if (task.kind == DataflowKind::Host) {
-                const auto slot_it =
-                    std::min_element(host_free.begin(), host_free.end());
-                host_slot = static_cast<std::size_t>(
-                    slot_it - host_free.begin());
-                start = std::max(ts.readyAt, *slot_it);
-            } else {
-                const ArrayType type = arrayTypeFor(task.kind);
-                const std::size_t idx = typeIndex(type);
-                PROSE_ASSERT(report.typeCounts[idx] > 0,
-                             "no array provisioned for ",
-                             toString(task.kind));
-                array_idx = static_cast<int>(idx);
-                start = std::max({ ts.readyAt, pool_free[idx],
-                                   io_free[idx] });
-            }
-            if (start < best_start) {
-                best_start = start;
-                best_thread = t;
-                best_array = array_idx;
-                best_host_slot = host_slot;
-            }
+    /** Earliest dispatch for a thread's next task under current
+     *  resource state. */
+    struct Candidate
+    {
+        double start = 0.0;
+        int arrayIndex = -1;
+        std::size_t hostSlot = 0;
+    };
+    auto candidateFor = [&](std::size_t t) {
+        const ThreadState &ts = threads[t];
+        const DataflowTask &task = thread_tasks[t][ts.next];
+        Candidate c;
+        if (task.kind == DataflowKind::Host) {
+            const auto slot_it =
+                std::min_element(host_free.begin(), host_free.end());
+            c.hostSlot =
+                static_cast<std::size_t>(slot_it - host_free.begin());
+            c.start = std::max(ts.readyAt, *slot_it);
+        } else {
+            const ArrayType type = arrayTypeFor(task.kind);
+            const std::size_t idx = typeIndex(type);
+            PROSE_ASSERT(report.typeCounts[idx] > 0,
+                         "no array provisioned for ",
+                         toString(task.kind));
+            c.arrayIndex = static_cast<int>(idx);
+            c.start = std::max({ ts.readyAt, pool_free[idx],
+                                 io_free[idx] });
         }
-        if (best_start == inf)
-            break; // all threads drained
+        return c;
+    };
 
+    auto dispatch = [&](std::size_t best_thread, const Candidate &c) {
+        const double best_start = c.start;
+        const int best_array = c.arrayIndex;
         ThreadState &ts = threads[best_thread];
         const DataflowTask &task = thread_tasks[best_thread][ts.next];
         double duration;
         if (task.kind == DataflowKind::Host) {
             duration = host_.hostOpSeconds(task.ops.front());
-            host_free[best_host_slot] = best_start + duration;
+            host_free[c.hostSlot] = best_start + duration;
             report.hostBusySeconds += duration;
         } else {
             const std::size_t idx = static_cast<std::size_t>(best_array);
@@ -345,6 +339,59 @@ PerfSim::runTasks(
                                      best_array)]
                                : end;
             report.schedule.push_back(item);
+        }
+    };
+
+    if (options_.referenceScheduler) {
+        // Reference next-event selection: O(threads) scan per dispatch,
+        // kept as the differential baseline for the event queue below.
+        const double inf = std::numeric_limits<double>::infinity();
+        while (true) {
+            double best_start = inf;
+            std::size_t best_thread = 0;
+            Candidate best;
+            for (std::size_t t = 0; t < threads.size(); ++t) {
+                if (threads[t].next >= thread_tasks[t].size())
+                    continue;
+                const Candidate c = candidateFor(t);
+                if (c.start < best_start) {
+                    best_start = c.start;
+                    best_thread = t;
+                    best = c;
+                }
+            }
+            if (best_start == inf)
+                break; // all threads drained
+            dispatch(best_thread, best);
+        }
+    } else {
+        // Lazy min-heap event queue keyed by (start, thread). Every
+        // resource-free time (pool, I/O mutex, host slot, thread ready)
+        // only moves forward, so a queued key is a lower bound on the
+        // thread's true start: pop the minimum, recompute under current
+        // state, re-queue if it moved, dispatch if it did not. The
+        // (start, thread) lexicographic order reproduces the reference
+        // scan's earliest-start / lowest-thread-index dispatch order
+        // exactly, so both schedulers yield identical timestamps.
+        using HeapEntry = std::pair<double, std::size_t>;
+        std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                            std::greater<HeapEntry>>
+            queue;
+        for (std::size_t t = 0; t < threads.size(); ++t) {
+            if (!thread_tasks[t].empty())
+                queue.emplace(candidateFor(t).start, t);
+        }
+        while (!queue.empty()) {
+            const auto [bound, t] = queue.top();
+            queue.pop();
+            const Candidate c = candidateFor(t);
+            if (c.start > bound) {
+                queue.emplace(c.start, t); // stale lower bound
+                continue;
+            }
+            dispatch(t, c);
+            if (threads[t].next < thread_tasks[t].size())
+                queue.emplace(candidateFor(t).start, t);
         }
     }
 

@@ -126,6 +126,14 @@ struct SimOptions
     bool recordSchedule = false;
 
     /**
+     * Use the original O(threads)-per-dispatch linear next-event scan
+     * instead of the min-heap event queue. Both schedulers produce
+     * identical schedules (asserted by the differential tests); the
+     * linear scan is kept as the reference.
+     */
+    bool referenceScheduler = false;
+
+    /**
      * Optional fault injector (not owned). When set, every accelerator
      * task samples the campaign's link faults, charges retry latency
      * per the policy below, and the scheduler fails over around killed

@@ -1,12 +1,16 @@
 #include "dse_engine.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "baseline/platform.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "common/thread_pool.hh"
+#include "numerics/bfloat16.hh"
 #include "power/power_model.hh"
+#include "systolic/functional_sim.hh"
 
 namespace prose {
 
@@ -63,6 +67,111 @@ DseEngine::evaluate(const ProseConfig &config) const
     point.areaMm2 = power.arrayAreaMm2(config.groups,
                                        config.partialInputBuffer);
     return point;
+}
+
+DseValidationReport
+DseEngine::validate(const ProseConfig &config, FsimMode mode) const
+{
+    // One geometry per type from the configuration (pools are uniform
+    // within a type); types the config does not provision fall back to
+    // the paper's defaults so the probe always covers all dataflows.
+    ArrayGeometry m_geom = ArrayGeometry::mType();
+    ArrayGeometry g_geom = ArrayGeometry::gType();
+    ArrayGeometry e_geom = ArrayGeometry::eType();
+    for (const ArrayGeometry &geom : config.instances()) {
+        switch (geom.type) {
+          case ArrayType::M:
+            m_geom = geom;
+            break;
+          case ArrayType::G:
+            g_geom = geom;
+            break;
+          case ArrayType::E:
+            e_geom = geom;
+            break;
+        }
+    }
+
+    FunctionalSimulator fsim(m_geom, g_geom, e_geom);
+    fsim.setMode(mode);
+
+    DseValidationReport report;
+    report.mode = mode;
+    Rng rng(0xD5E);
+
+    // Dataflow 1 probe, sized to force partial edge tiles on the
+    // M geometry, with an exact host bf16 reference: the array chain is
+    // drain(quantize(truncate(A x B) * quantize(alpha))).
+    {
+        const std::size_t m = m_geom.dim + m_geom.dim / 2;
+        const std::size_t k = m_geom.dim / 2 + 3;
+        const std::size_t n = m_geom.dim + 2;
+        Matrix a(m, k), b(k, n);
+        a.fillGaussian(rng, 0.0f, 1.0f);
+        b.fillGaussian(rng, 0.0f, 1.0f);
+        const float alpha = 0.59375f; // exactly representable in bf16
+        const Matrix out = fsim.dataflow1(a, b, alpha, nullptr);
+        const Matrix mm = matmulBf16(a, b);
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const float expected = quantizeBf16(
+                    truncateBf16(mm(i, j)) * quantizeBf16(alpha));
+                report.maxAbsError =
+                    std::max(report.maxAbsError,
+                             std::fabs(out(i, j) - expected));
+            }
+        }
+        report.modelMatmulCycles +=
+            TimingModel::matmulCycles(m, k, n, m_geom.dim);
+        report.expectedMacCount +=
+            static_cast<std::uint64_t>(m) * k * n;
+    }
+
+    // Dataflow 2 probe (GELU path) on the G geometry.
+    {
+        const std::size_t m = g_geom.dim + g_geom.dim / 2;
+        const std::size_t k = 17;
+        const std::size_t n = g_geom.dim + 1;
+        Matrix a(m, k), b(k, n), bias(1, n);
+        a.fillGaussian(rng, 0.0f, 1.0f);
+        b.fillGaussian(rng, 0.0f, 1.0f);
+        bias.fillGaussian(rng, 0.0f, 1.0f);
+        fsim.dataflow2(a, b, 1.0f, &bias);
+        report.modelMatmulCycles +=
+            TimingModel::matmulCycles(m, k, n, g_geom.dim);
+        report.expectedMacCount +=
+            static_cast<std::uint64_t>(m) * k * n;
+    }
+
+    // Dataflow 3 probe (attention with the host-softmax trip) on the
+    // E geometry, batch 2: Q K^T then P V per batch element.
+    {
+        const std::size_t seq = e_geom.dim + e_geom.dim / 2;
+        const std::size_t dk = e_geom.dim;
+        std::vector<Matrix> q, k, v;
+        for (int batch = 0; batch < 2; ++batch) {
+            q.emplace_back(seq, dk);
+            k.emplace_back(seq, dk);
+            v.emplace_back(seq, dk);
+            q.back().fillGaussian(rng, 0.0f, 1.0f);
+            k.back().fillGaussian(rng, 0.0f, 1.0f);
+            v.back().fillGaussian(rng, 0.0f, 1.0f);
+        }
+        fsim.dataflow3(q, k, v, 0.25f);
+        report.modelMatmulCycles +=
+            2 * (TimingModel::matmulCycles(seq, dk, seq, e_geom.dim) +
+                 TimingModel::matmulCycles(seq, seq, dk, e_geom.dim));
+        report.expectedMacCount +=
+            2 * (static_cast<std::uint64_t>(seq) * dk * seq +
+                 static_cast<std::uint64_t>(seq) * seq * dk);
+    }
+
+    report.fsimMatmulCycles = fsim.matmulCycles();
+    report.macCount = fsim.macCount();
+    report.ok = report.maxAbsError == 0.0f &&
+                report.fsimMatmulCycles == report.modelMatmulCycles &&
+                report.macCount == report.expectedMacCount;
+    return report;
 }
 
 DsePoint

@@ -14,6 +14,7 @@
 
 #include "accel/perf_sim.hh"
 #include "config_space.hh"
+#include "systolic/fsim_mode.hh"
 
 namespace prose {
 
@@ -48,6 +49,27 @@ struct DseWorkload
     double a100Seconds = 0.0; ///< 0 = compute from the baseline model
 };
 
+/**
+ * Result of cross-validating one configuration's closed-form timing
+ * against the register-accurate functional simulator (the DSE's
+ * evaluations rest entirely on the TimingModel, so this is the check
+ * that grounds a whole exploration).
+ */
+struct DseValidationReport
+{
+    bool ok = false;        ///< all checks below passed
+    FsimMode mode = FsimMode::Fast; ///< engine the probe ran on
+    /** Matmul cycles counted by the functional simulator's arrays. */
+    std::uint64_t fsimMatmulCycles = 0;
+    /** The TimingModel's closed-form prediction for the same probes. */
+    std::uint64_t modelMatmulCycles = 0;
+    /** MACs counted by the arrays (must equal the useful work). */
+    std::uint64_t macCount = 0;
+    std::uint64_t expectedMacCount = 0;
+    /** Dataflow-1 output vs the host bf16 reference (must be 0). */
+    float maxAbsError = 0.0f;
+};
+
 /** Runs the exploration. */
 class DseEngine
 {
@@ -56,6 +78,19 @@ class DseEngine
 
     /** Evaluate one configuration (no lane sweep). */
     DsePoint evaluate(const ProseConfig &config) const;
+
+    /**
+     * Functional cross-validation of one configuration: run probe
+     * dataflows (1, 2, and a batch-2 dataflow 3) sized off the
+     * config's array geometries through the FunctionalSimulator in the
+     * given engine mode, and check the measured matmul cycles and MAC
+     * counts against the TimingModel's closed forms plus the dataflow-1
+     * output against the host bf16 reference. The fast-forward engine
+     * makes this routinely affordable inside explorations; `validate`
+     * mode additionally cross-checks the two engines op by op.
+     */
+    DseValidationReport validate(const ProseConfig &config,
+                                 FsimMode mode = defaultFsimMode()) const;
 
     /** Evaluate one mix across all lane partitions; keep the fastest. */
     DsePoint evaluateBestLanes(const ProseConfig &mix) const;

@@ -4,6 +4,9 @@
 
 namespace prose {
 
+// roundFromFloat / toFloat / truncateToBf16 are inline in the header:
+// they dominate the functional-sim hot paths.
+
 namespace {
 
 std::uint32_t
@@ -23,36 +26,6 @@ bitsToFloat(std::uint32_t bits)
 }
 
 } // namespace
-
-std::uint16_t
-Bfloat16::roundFromFloat(float value)
-{
-    std::uint32_t bits = floatBits(value);
-
-    // NaN: keep the sign, force a quiet-NaN payload so the result stays
-    // a NaN after truncation even if the payload's top bits were zero.
-    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu)) {
-        return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
-    }
-
-    // Round to nearest even on the 16 bits we are about to drop.
-    const std::uint32_t rounding_bias = 0x7fffu + ((bits >> 16) & 1u);
-    bits += rounding_bias;
-    return static_cast<std::uint16_t>(bits >> 16);
-}
-
-float
-Bfloat16::toFloat() const
-{
-    return bitsToFloat(static_cast<std::uint32_t>(bits_) << 16);
-}
-
-Bfloat16
-truncateToBf16(float value)
-{
-    return Bfloat16::fromBits(
-        static_cast<std::uint16_t>(floatBits(value) >> 16));
-}
 
 Bfloat16
 Bfloat16::operator-() const

@@ -15,6 +15,7 @@
 #define PROSE_NUMERICS_BFLOAT16_HH
 
 #include <cstdint>
+#include <cstring>
 #include <ostream>
 
 namespace prose {
@@ -93,6 +94,45 @@ class Bfloat16
   private:
     std::uint16_t bits_ = 0;
 };
+
+// The conversions sit on the hot path of both functional-sim engines
+// (every operand element is rounded at the array edge, every drained
+// output is widened), so they are defined inline here.
+
+inline float
+Bfloat16::toFloat() const
+{
+    const std::uint32_t bits = static_cast<std::uint32_t>(bits_) << 16;
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+inline std::uint16_t
+Bfloat16::roundFromFloat(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+
+    // NaN: keep the sign, force a quiet-NaN payload so the result stays
+    // a NaN after truncation even if the payload's top bits were zero.
+    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu)) {
+        return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+    }
+
+    // Round to nearest even on the 16 bits we are about to drop.
+    const std::uint32_t rounding_bias = 0x7fffu + ((bits >> 16) & 1u);
+    bits += rounding_bias;
+    return static_cast<std::uint16_t>(bits >> 16);
+}
+
+inline Bfloat16
+truncateToBf16(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return Bfloat16::fromBits(static_cast<std::uint16_t>(bits >> 16));
+}
 
 /** Round-trip helper: quantize an fp32 value through bfloat16. */
 inline float

@@ -1,0 +1,59 @@
+#include "fsim_mode.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace prose {
+
+const char *
+toString(FsimMode mode)
+{
+    switch (mode) {
+      case FsimMode::Fast:
+        return "fast";
+      case FsimMode::Stepped:
+        return "stepped";
+      case FsimMode::Validate:
+        return "validate";
+    }
+    return "?";
+}
+
+FsimMode
+parseFsimMode(const char *name)
+{
+    const std::string s = name ? name : "";
+    if (s == "fast")
+        return FsimMode::Fast;
+    if (s == "stepped")
+        return FsimMode::Stepped;
+    if (s == "validate")
+        return FsimMode::Validate;
+    fatal("unknown functional-sim mode \"", s,
+          "\"; expected fast, stepped, or validate");
+}
+
+FsimMode
+defaultFsimMode()
+{
+    static const FsimMode mode = [] {
+        const char *spec = std::getenv("PROSE_FSIM_MODE");
+        if (!spec || !*spec)
+            return FsimMode::Fast;
+        const std::string s = spec;
+        if (s == "fast")
+            return FsimMode::Fast;
+        if (s == "stepped")
+            return FsimMode::Stepped;
+        if (s == "validate")
+            return FsimMode::Validate;
+        warn("ignoring invalid PROSE_FSIM_MODE=\"", s,
+             "\"; using fast (expected fast, stepped, or validate)");
+        return FsimMode::Fast;
+    }();
+    return mode;
+}
+
+} // namespace prose

@@ -16,6 +16,28 @@ FunctionalSimulator::FunctionalSimulator(ArrayGeometry m_geometry,
 {
     PROSE_ASSERT(g_geometry.hasGelu, "G-Type array must carry GELU LUTs");
     PROSE_ASSERT(e_geometry.hasExp, "E-Type array must carry Exp LUTs");
+    applyArrayModes();
+}
+
+void
+FunctionalSimulator::applyArrayModes()
+{
+    // ABFT observes and repairs accumulators between the matmul and the
+    // SIMD passes of every tile; keep such runs on the cycle-stepped
+    // reference engine wholesale. (The per-array injector fallback is
+    // handled inside SystolicArray::effectiveMode.)
+    const FsimMode effective =
+        abft_.options().enabled ? FsimMode::Stepped : mode_;
+    mArray_.setMode(effective);
+    gArray_.setMode(effective);
+    eArray_.setMode(effective);
+}
+
+void
+FunctionalSimulator::setMode(FsimMode mode)
+{
+    mode_ = mode;
+    applyArrayModes();
 }
 
 Matrix
@@ -45,11 +67,9 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
             // Stream the full-k tile product into the accumulators.
             Matrix a_tile(rows, k), b_tile(k, cols);
             for (std::size_t i = 0; i < rows; ++i)
-                for (std::size_t j = 0; j < k; ++j)
-                    a_tile(i, j) = a(tm + i, j);
+                std::copy_n(a.row(tm + i), k, a_tile.row(i));
             for (std::size_t i = 0; i < k; ++i)
-                for (std::size_t j = 0; j < cols; ++j)
-                    b_tile(i, j) = b(i, tn + j);
+                std::copy_n(b.row(i) + tn, cols, b_tile.row(i));
             array.matmulTile(a_tile, b_tile);
 
             // ABFT: verify the tile's row/column checksums before any
@@ -83,8 +103,7 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
             Matrix out;
             array.drain(out);
             for (std::size_t i = 0; i < rows; ++i)
-                for (std::size_t j = 0; j < cols; ++j)
-                    c(tm + i, tn + j) = out(i, j);
+                std::copy_n(out.row(i), cols, c.row(tm + i) + tn);
         }
     }
     return c;
@@ -149,8 +168,12 @@ FunctionalSimulator::dataflow3(const std::vector<Matrix> &q,
     }
     std::vector<SystolicArray> clones;
     clones.reserve(q.size());
-    for (std::size_t batch = 0; batch < q.size(); ++batch)
+    for (std::size_t batch = 0; batch < q.size(); ++batch) {
         clones.emplace_back(eArray_.geometry());
+        // Clones inherit the architectural array's engine so fast /
+        // stepped / validate behave identically batch-parallel.
+        clones.back().setMode(eArray_.mode());
+    }
     ThreadPool::global().parallelFor(
         q.size(), [&](std::size_t b0, std::size_t b1) {
             for (std::size_t batch = b0; batch < b1; ++batch)
@@ -173,6 +196,7 @@ void
 FunctionalSimulator::setAbft(AbftOptions options)
 {
     abft_ = AbftChecker(options);
+    applyArrayModes();
 }
 
 std::uint64_t

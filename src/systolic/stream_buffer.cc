@@ -13,10 +13,19 @@ StreamBuffer::StreamBuffer(std::uint32_t depth, double supply_rate)
     PROSE_ASSERT(supply_rate > 0.0, "stream buffer needs a supply rate");
 }
 
+double
+StreamBuffer::nextFillRate() const
+{
+    if (fillProfile_.empty())
+        return supplyRate_;
+    return fillProfile_[fillTicks_ % fillProfile_.size()];
+}
+
 bool
 StreamBuffer::tick()
 {
-    occupancy_ = std::min(depth_, occupancy_ + supplyRate_);
+    occupancy_ = std::min(depth_, occupancy_ + nextFillRate());
+    ++fillTicks_;
     if (occupancy_ >= 1.0) {
         occupancy_ -= 1.0;
         ++consumed_;
@@ -29,7 +38,8 @@ StreamBuffer::tick()
 void
 StreamBuffer::tickNoConsume()
 {
-    occupancy_ = std::min(depth_, occupancy_ + supplyRate_);
+    occupancy_ = std::min(depth_, occupancy_ + nextFillRate());
+    ++fillTicks_;
 }
 
 void
@@ -46,12 +56,55 @@ StreamBuffer::reset()
     occupancy_ = 0.0;
     stalls_ = 0;
     consumed_ = 0;
+    fillTicks_ = 0;
 }
 
 void
 StreamBuffer::fill()
 {
     occupancy_ = depth_;
+}
+
+void
+StreamBuffer::setFillProfile(std::vector<double> rates)
+{
+    for (double rate : rates)
+        PROSE_ASSERT(rate >= 0.0,
+                     "negative fill-profile rate: ", rate);
+    fillProfile_ = std::move(rates);
+}
+
+void
+StreamBuffer::fastForwardIdeal(std::uint64_t cycles,
+                               std::uint64_t consumes)
+{
+    PROSE_ASSERT(idealSupply(),
+                 "fast-forward on a non-ideal stream buffer");
+    PROSE_ASSERT(consumes <= cycles,
+                 "more consumes than fill cycles: ", consumes, " > ",
+                 cycles);
+    if (cycles == 0)
+        return;
+    // Every fill tick saturates occupancy to exactly depth; the final
+    // cycle leaves depth - 1 only if it also consumed.
+    occupancy_ = consumes == cycles ? depth_ - 1.0 : depth_;
+    consumed_ += consumes;
+    fillTicks_ += cycles;
+}
+
+StreamBuffer::State
+StreamBuffer::state() const
+{
+    return State{ occupancy_, stalls_, consumed_, fillTicks_ };
+}
+
+void
+StreamBuffer::restore(const State &state)
+{
+    occupancy_ = state.occupancy;
+    stalls_ = state.stalls;
+    consumed_ = state.consumed;
+    fillTicks_ = state.fillTicks;
 }
 
 } // namespace prose

@@ -11,6 +11,7 @@
 #define PROSE_SYSTOLIC_STREAM_BUFFER_HH
 
 #include <cstdint>
+#include <vector>
 
 namespace prose {
 
@@ -64,18 +65,79 @@ class StreamBuffer
     /** Entries consumed so far. */
     std::uint64_t consumed() const { return consumed_; }
 
+    /** Fill ticks applied so far (uniform or scheduled). */
+    std::uint64_t fillTicks() const { return fillTicks_; }
+
     /** Reset occupancy and counters (new transfer). */
     void reset();
 
     /** Pre-fill to capacity (back-to-back transfers with a warm link). */
     void fill();
 
+    /** Capacity in entries. */
+    double depth() const { return depth_; }
+
+    /** Configured uniform supply rate (entries per cycle). */
+    double supplyRate() const { return supplyRate_; }
+
+    /** @name Fill profiles and fast-forward support @{ */
+
+    /**
+     * Install a non-uniform fill profile: fill tick t adds
+     * rates[t % rates.size()] entries instead of the uniform supply
+     * rate. An empty vector restores the uniform profile. Arrays fed
+     * through a non-uniform profile always take the cycle-stepped
+     * engine (the fast-forward eligibility check consults
+     * uniformFill()).
+     */
+    void setFillProfile(std::vector<double> rates);
+
+    /** True when the buffer fills at one constant rate every cycle. */
+    bool uniformFill() const { return fillProfile_.empty(); }
+
+    /**
+     * True when every fill tick provably clamps the buffer to capacity
+     * (uniform supply rate >= depth): availability can never fail and
+     * the post-operation state has a closed form.
+     */
+    bool idealSupply() const
+    {
+        return uniformFill() && supplyRate_ >= depth_;
+    }
+
+    /**
+     * Closed-form advance for an ideal-supply buffer: `cycles` fill
+     * ticks of which the first `consumes` also consume one entry
+     * (consumes <= cycles). Bit-equal to ticking the recurrence because
+     * every fill tick saturates occupancy to exactly `depth`.
+     */
+    void fastForwardIdeal(std::uint64_t cycles, std::uint64_t consumes);
+
+    /** Snapshot of the complete mutable state (validate mode). */
+    struct State
+    {
+        double occupancy = 0.0;
+        std::uint64_t stalls = 0;
+        std::uint64_t consumed = 0;
+        std::uint64_t fillTicks = 0;
+    };
+
+    State state() const;
+    void restore(const State &state);
+
+    /** @} */
+
   private:
+    /** Entries added by the next fill tick. */
+    double nextFillRate() const;
+
     double depth_;
     double supplyRate_;
+    std::vector<double> fillProfile_; ///< empty = uniform supplyRate_
     double occupancy_ = 0.0;
     std::uint64_t stalls_ = 0;
     std::uint64_t consumed_ = 0;
+    std::uint64_t fillTicks_ = 0;
 };
 
 } // namespace prose

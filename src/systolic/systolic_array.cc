@@ -1,12 +1,37 @@
 #include "systolic_array.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
 #include "numerics/bfloat16.hh"
 
 namespace prose {
+namespace {
+
+/** Bitwise double comparison (validate mode treats -0.0 != +0.0). */
+bool
+bitsEqual(double x, double y)
+{
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+}
+
+/**
+ * acc[j] += av * b[j] over one accumulator row. The restrict
+ * qualifiers let the compiler vectorize the j lanes (the members the
+ * pointers come from never alias); lanes are independent accumulators,
+ * so vectorization does not reorder any per-accumulator fp32 op.
+ */
+inline void
+macRow(float *__restrict__ acc, const float *__restrict__ b, float av,
+       std::size_t cols)
+{
+    for (std::size_t j = 0; j < cols; ++j)
+        acc[j] += av * b[j];
+}
+
+} // namespace
 
 const char *
 toString(SimdOp op)
@@ -42,6 +67,137 @@ SystolicArray::SystolicArray(const ArrayGeometry &geometry,
     aReg_.valid.assign(n * n, 0);
     bReg_.value.assign(n * n, 0.0f);
     bReg_.valid.assign(n * n, 0);
+}
+
+FsimMode
+SystolicArray::effectiveMode() const
+{
+    // The fault-replay contract requires the injector's deterministic
+    // RNG to advance exactly once per tile in schedule order, and a
+    // non-uniform fill profile has no closed form — both force the
+    // cycle-stepped reference engine (Validate included: its dual run
+    // would advance the injector twice).
+    if (injector_ || !aBuffer_.uniformFill() || !bBuffer_.uniformFill())
+        return FsimMode::Stepped;
+    return mode_;
+}
+
+SystolicArray::EngineState
+SystolicArray::captureState() const
+{
+    return EngineState{ acc_,
+                        liveRows_,
+                        liveCols_,
+                        aBuffer_.state(),
+                        bBuffer_.state(),
+                        matmulCycles_,
+                        simdCycles_,
+                        stallCycles_,
+                        macCount_,
+                        simdOpCount_ };
+}
+
+void
+SystolicArray::restoreState(const EngineState &state)
+{
+    acc_ = state.acc;
+    liveRows_ = state.liveRows;
+    liveCols_ = state.liveCols;
+    aBuffer_.restore(state.aBuf);
+    bBuffer_.restore(state.bBuf);
+    matmulCycles_ = state.matmulCycles;
+    simdCycles_ = state.simdCycles;
+    stallCycles_ = state.stallCycles;
+    macCount_ = state.macCount;
+    simdOpCount_ = state.simdOpCount;
+}
+
+void
+SystolicArray::assertEnginesAgree(const char *what,
+                                  const EngineState &stepped,
+                                  const EngineState &fast,
+                                  std::uint64_t stepped_ret,
+                                  std::uint64_t fast_ret) const
+{
+    const std::size_t n = geometry_.dim;
+    if (stepped_ret != fast_ret) {
+        panic("validate(", what, "): cycle returns diverge: stepped=",
+              stepped_ret, " fast=", fast_ret);
+    }
+    if (stepped.liveRows != fast.liveRows ||
+        stepped.liveCols != fast.liveCols) {
+        panic("validate(", what, "): live regions diverge: stepped=",
+              stepped.liveRows, "x", stepped.liveCols,
+              " fast=", fast.liveRows, "x", fast.liveCols);
+    }
+    const struct
+    {
+        const char *name;
+        std::uint64_t steppedVal, fastVal;
+    } counters[] = {
+        { "matmulCycles", stepped.matmulCycles, fast.matmulCycles },
+        { "simdCycles", stepped.simdCycles, fast.simdCycles },
+        { "stallCycles", stepped.stallCycles, fast.stallCycles },
+        { "macCount", stepped.macCount, fast.macCount },
+        { "simdOpCount", stepped.simdOpCount, fast.simdOpCount },
+        { "aBuffer stalls", stepped.aBuf.stalls, fast.aBuf.stalls },
+        { "aBuffer consumed", stepped.aBuf.consumed,
+          fast.aBuf.consumed },
+        { "aBuffer fillTicks", stepped.aBuf.fillTicks,
+          fast.aBuf.fillTicks },
+        { "bBuffer stalls", stepped.bBuf.stalls, fast.bBuf.stalls },
+        { "bBuffer consumed", stepped.bBuf.consumed,
+          fast.bBuf.consumed },
+        { "bBuffer fillTicks", stepped.bBuf.fillTicks,
+          fast.bBuf.fillTicks },
+    };
+    for (const auto &c : counters) {
+        if (c.steppedVal != c.fastVal) {
+            panic("validate(", what, "): ", c.name,
+                  " diverges: stepped=", c.steppedVal,
+                  " fast=", c.fastVal);
+        }
+    }
+    if (!bitsEqual(stepped.aBuf.occupancy, fast.aBuf.occupancy) ||
+        !bitsEqual(stepped.bBuf.occupancy, fast.bBuf.occupancy)) {
+        panic("validate(", what, "): buffer occupancy diverges: a ",
+              stepped.aBuf.occupancy, " vs ", fast.aBuf.occupancy,
+              ", b ", stepped.bBuf.occupancy, " vs ",
+              fast.bBuf.occupancy);
+    }
+    if (std::memcmp(stepped.acc.data(), fast.acc.data(),
+                    stepped.acc.size() * sizeof(float)) != 0) {
+        for (std::size_t idx = 0; idx < stepped.acc.size(); ++idx) {
+            if (std::memcmp(&stepped.acc[idx], &fast.acc[idx],
+                            sizeof(float)) != 0) {
+                panic("validate(", what, "): accumulator (", idx / n,
+                      ",", idx % n, ") diverges: stepped=",
+                      stepped.acc[idx], " fast=", fast.acc[idx]);
+            }
+        }
+    }
+}
+
+template <typename SteppedFn, typename FastFn>
+std::uint64_t
+SystolicArray::dispatch(const char *what, SteppedFn stepped, FastFn fast)
+{
+    switch (effectiveMode()) {
+      case FsimMode::Stepped:
+        return stepped();
+      case FsimMode::Fast:
+        return fast();
+      case FsimMode::Validate:
+        break;
+    }
+    const EngineState pre = captureState();
+    const std::uint64_t fast_ret = fast();
+    const EngineState fast_post = captureState();
+    restoreState(pre);
+    const std::uint64_t stepped_ret = stepped();
+    assertEnginesAgree(what, captureState(), fast_post, stepped_ret,
+                       fast_ret);
+    return stepped_ret;
 }
 
 void
@@ -117,6 +273,19 @@ SystolicArray::matmulTile(const Matrix &a, const Matrix &b)
                  " on ", n, "x", n);
     PROSE_ASSERT(b.rows() == k_depth, "tile inner-dimension mismatch");
 
+    return dispatch(
+        "matmulTile", [&] { return steppedMatmulTile(a, b); },
+        [&] { return fastMatmulTile(a, b); });
+}
+
+std::uint64_t
+SystolicArray::steppedMatmulTile(const Matrix &a, const Matrix &b)
+{
+    const std::size_t n = geometry_.dim;
+    const std::size_t rows = a.rows();
+    const std::size_t cols = b.cols();
+    const std::size_t k_depth = a.cols();
+
     liveRows_ = std::max(liveRows_, rows);
     liveCols_ = std::max(liveCols_, cols);
 
@@ -160,6 +329,99 @@ SystolicArray::matmulTile(const Matrix &a, const Matrix &b)
         injector_->corruptAccumulators(faultSite_, acc_.data(), n,
                                        liveRows_, liveCols_);
     }
+    return cycles;
+}
+
+std::uint64_t
+SystolicArray::fastMatmulTile(const Matrix &a, const Matrix &b)
+{
+    const std::size_t n = geometry_.dim;
+    const std::size_t rows = a.rows();
+    const std::size_t cols = b.cols();
+    const std::size_t k_depth = a.cols();
+
+    liveRows_ = std::max(liveRows_, rows);
+    liveCols_ = std::max(liveCols_, cols);
+
+    // Quantize operands once up front — the stepped machine quantizes
+    // the same elements with the same function at the edge latches.
+    scratchA_.resize(rows * k_depth);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const float *arow = a.row(i);
+        for (std::size_t kk = 0; kk < k_depth; ++kk)
+            scratchA_[i * k_depth + kk] = quantizeBf16(arow[kk]);
+    }
+    scratchB_.resize(k_depth * cols);
+    for (std::size_t kk = 0; kk < k_depth; ++kk) {
+        const float *brow = b.row(kk);
+        for (std::size_t j = 0; j < cols; ++j)
+            scratchB_[kk * cols + j] = quantizeBf16(brow[j]);
+    }
+
+    // PE(i, j) latches A(i, k') and B(k', j) together at wavefront
+    // k' + i + j, so its MACs execute in ascending-k' order — the plain
+    // i/k/j accumulation below performs the identical sequence of fp32
+    // operations per accumulator.
+    for (std::size_t i = 0; i < rows; ++i) {
+        float *arow = acc_.data() + i * n;
+        const float *qa = scratchA_.data() + i * k_depth;
+        for (std::size_t kk = 0; kk < k_depth; ++kk)
+            macRow(arow, scratchB_.data() + kk * cols, qa[kk], cols);
+    }
+    macCount_ += static_cast<std::uint64_t>(rows) * cols * k_depth;
+
+    return fastForwardMatmulGating(rows, cols, k_depth);
+}
+
+std::uint64_t
+SystolicArray::fastForwardMatmulGating(std::size_t rows,
+                                       std::size_t cols,
+                                       std::size_t k_depth)
+{
+    const std::uint64_t advances = k_depth + rows + cols - 2;
+    const std::uint64_t a_inject_end = k_depth + rows - 1;
+    const std::uint64_t b_inject_end = k_depth + cols - 1;
+
+    if (aBuffer_.idealSupply() && bBuffer_.idealSupply()) {
+        // Availability can never fail, so every cycle advances the
+        // wavefront: `advances` cycles, zero stalls, and each side
+        // consumes one entry for each of its injection wavefronts.
+        aBuffer_.fastForwardIdeal(advances, a_inject_end);
+        bBuffer_.fastForwardIdeal(advances, b_inject_end);
+        matmulCycles_ += advances;
+        return advances;
+    }
+
+    // Constant sub-capacity fill rates: replay only the O(1)-per-cycle
+    // gate recurrence. The repeated clamped additions are not
+    // associative in floating point, so an occupancy = o0 + t * rate
+    // closed form would not be bit-equal; replaying the identical
+    // sequence of occupancy operations is. The O(dim^2) PE sweep — where
+    // virtually all the stepped engine's time goes — is still skipped.
+    std::uint64_t cycles = 0;
+    std::uint64_t wavefront = 0;
+    while (wavefront < advances) {
+        ++cycles;
+        aBuffer_.fillTick();
+        bBuffer_.fillTick();
+        const bool need_a = wavefront < a_inject_end;
+        const bool need_b = wavefront < b_inject_end;
+        if ((need_a && !aBuffer_.available()) ||
+            (need_b && !bBuffer_.available())) {
+            if (need_a && !aBuffer_.available())
+                aBuffer_.noteStall();
+            if (need_b && !bBuffer_.available())
+                bBuffer_.noteStall();
+            ++stallCycles_;
+            continue;
+        }
+        if (need_a)
+            aBuffer_.consume();
+        if (need_b)
+            bBuffer_.consume();
+        ++wavefront;
+    }
+    matmulCycles_ += cycles;
     return cycles;
 }
 
@@ -208,6 +470,14 @@ SystolicArray::simdScalar(SimdOp op, float scalar)
                  "simdScalar needs a scalar op");
     PROSE_ASSERT(liveRows_ > 0 && liveCols_ > 0,
                  "SIMD pass with no live tile");
+    return dispatch(
+        "simdScalar", [&] { return steppedSimdScalar(op, scalar); },
+        [&] { return fastSimdScalar(op, scalar); });
+}
+
+std::uint64_t
+SystolicArray::steppedSimdScalar(SimdOp op, float scalar)
+{
     const std::size_t n = geometry_.dim;
     std::vector<float> results(liveRows_);
     for (std::size_t pass = 0; pass < liveCols_; ++pass) {
@@ -222,6 +492,23 @@ SystolicArray::simdScalar(SimdOp op, float scalar)
 }
 
 std::uint64_t
+SystolicArray::fastSimdScalar(SimdOp op, float scalar)
+{
+    // A full rotation returns the tile to its original orientation and
+    // feeds every live element through the ALU exactly once, so the
+    // pass is an in-place elementwise map.
+    const std::size_t n = geometry_.dim;
+    for (std::size_t i = 0; i < liveRows_; ++i) {
+        float *row = acc_.data() + i * n;
+        for (std::size_t j = 0; j < liveCols_; ++j)
+            row[j] = applyAlu(op, row[j], scalar);
+    }
+    simdOpCount_ += static_cast<std::uint64_t>(liveRows_) * liveCols_;
+    simdCycles_ += liveCols_;
+    return liveCols_;
+}
+
+std::uint64_t
 SystolicArray::simdVector(SimdOp op, const Matrix &operand)
 {
     PROSE_ASSERT(op == SimdOp::MulVector || op == SimdOp::AddVector,
@@ -231,6 +518,14 @@ SystolicArray::simdVector(SimdOp op, const Matrix &operand)
     PROSE_ASSERT(operand.rows() >= liveRows_ &&
                      operand.cols() >= liveCols_,
                  "vector operand smaller than the live tile");
+    return dispatch(
+        "simdVector", [&] { return steppedSimdVector(op, operand); },
+        [&] { return fastSimdVector(op, operand); });
+}
+
+std::uint64_t
+SystolicArray::steppedSimdVector(SimdOp op, const Matrix &operand)
+{
     const std::size_t n = geometry_.dim;
     std::vector<float> results(liveRows_);
     std::uint64_t cycles = 0;
@@ -259,12 +554,59 @@ SystolicArray::simdVector(SimdOp op, const Matrix &operand)
 }
 
 std::uint64_t
+SystolicArray::fastSimdVector(SimdOp op, const Matrix &operand)
+{
+    // The rotated tile's column 0 during pass j is original column j,
+    // so the in-place map pairs element (i, j) with operand(i, j).
+    const std::size_t n = geometry_.dim;
+    for (std::size_t i = 0; i < liveRows_; ++i) {
+        float *row = acc_.data() + i * n;
+        for (std::size_t j = 0; j < liveCols_; ++j)
+            row[j] = applyAlu(op, row[j], operand(i, j));
+    }
+    simdOpCount_ += static_cast<std::uint64_t>(liveRows_) * liveCols_;
+
+    if (aBuffer_.idealSupply()) {
+        // One operand column consumed per pass, never starving.
+        aBuffer_.fastForwardIdeal(liveCols_, liveCols_);
+        simdCycles_ += liveCols_;
+        return liveCols_;
+    }
+
+    // Gate replay for the streamed operand columns (see
+    // fastForwardMatmulGating for why this is a replay, not a formula).
+    std::uint64_t cycles = 0;
+    std::size_t pass = 0;
+    while (pass < liveCols_) {
+        ++cycles;
+        ++simdCycles_;
+        aBuffer_.fillTick();
+        if (!aBuffer_.available()) {
+            aBuffer_.noteStall();
+            ++stallCycles_;
+            continue;
+        }
+        aBuffer_.consume();
+        ++pass;
+    }
+    return cycles;
+}
+
+std::uint64_t
 SystolicArray::simdSpecial(SimdOp op)
 {
     PROSE_ASSERT(op == SimdOp::Gelu || op == SimdOp::Exp,
                  "simdSpecial needs a special-function op");
     PROSE_ASSERT(liveRows_ > 0 && liveCols_ > 0,
                  "SIMD pass with no live tile");
+    return dispatch(
+        "simdSpecial", [&] { return steppedSimdSpecial(op); },
+        [&] { return fastSimdSpecial(op); });
+}
+
+std::uint64_t
+SystolicArray::steppedSimdSpecial(SimdOp op)
+{
     const std::size_t n = geometry_.dim;
     std::vector<float> results(liveRows_);
     for (std::size_t pass = 0; pass < liveCols_; ++pass) {
@@ -279,13 +621,29 @@ SystolicArray::simdSpecial(SimdOp op)
 }
 
 std::uint64_t
+SystolicArray::fastSimdSpecial(SimdOp op)
+{
+    const std::size_t n = geometry_.dim;
+    for (std::size_t i = 0; i < liveRows_; ++i) {
+        float *row = acc_.data() + i * n;
+        for (std::size_t j = 0; j < liveCols_; ++j)
+            row[j] = applyAlu(op, row[j], 0.0f);
+    }
+    simdOpCount_ += static_cast<std::uint64_t>(liveRows_) * liveCols_;
+    simdCycles_ += liveCols_;
+    return liveCols_;
+}
+
+std::uint64_t
 SystolicArray::drain(Matrix &out)
 {
     PROSE_ASSERT(liveRows_ > 0 && liveCols_ > 0, "drain with no live tile");
     const std::size_t n = geometry_.dim;
     out = Matrix(liveRows_, liveCols_);
     // One column exits through the OUTPUT port per cycle; the port taps
-    // accumulator bits [31:16] (truncation to bf16).
+    // accumulator bits [31:16] (truncation to bf16). This is already
+    // closed form — one pass over the live region — so both execution
+    // engines share it.
     for (std::size_t pass = 0; pass < liveCols_; ++pass) {
         for (std::size_t i = 0; i < liveRows_; ++i)
             out(i, pass) = truncateBf16(acc_[i * n + pass]);

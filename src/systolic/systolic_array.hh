@@ -26,6 +26,22 @@
  * Streaming follows Figure 10(a): each operand edge is fronted by an
  * 8-deep streaming buffer filled at the host link's sustained rate; if
  * either buffer underflows, the whole array stalls for that cycle.
+ *
+ * Execution engines: the systolic schedule is fully deterministic, so
+ * every operation can run on either of two engines that produce
+ * bit-identical register files and identical cycle/stall/MAC counters:
+ *
+ *  - stepped: the reference wavefront machine above, O(dim^2) per cycle.
+ *  - fast-forward: PE(i, j) receives A(i, k') and B(k', j) together at
+ *    wavefront k' + i + j, so its MAC order is ascending k' — a plain
+ *    fp32 dot product of the bf16-quantized operands. Cycle and buffer
+ *    counters advance by closed form when the stream buffers provably
+ *    cannot starve, or by an O(1)-per-cycle gate replay when they can.
+ *
+ * FsimMode selects the engine (API or PROSE_FSIM_MODE); Validate runs
+ * both and panics on any state divergence. A fault injector or a
+ * non-uniform fill profile forces the stepped engine so the fault-replay
+ * contract is untouched.
  */
 
 #ifndef PROSE_SYSTOLIC_SYSTOLIC_ARRAY_HH
@@ -36,6 +52,7 @@
 #include <vector>
 
 #include "array_config.hh"
+#include "fsim_mode.hh"
 #include "numerics/lut.hh"
 #include "numerics/matrix.hh"
 #include "stream_buffer.hh"
@@ -57,7 +74,7 @@ enum class SimdOp
 
 const char *toString(SimdOp op);
 
-/** One cycle-stepped systolic array instance. */
+/** One systolic array instance (cycle-stepped or fast-forwarded). */
 class SystolicArray
 {
   public:
@@ -73,9 +90,9 @@ class SystolicArray
                            double b_supply_rate = 1e18);
 
     /**
-     * Accumulate C += A x B for one tile, cycle-stepped in matmul mode.
-     * A is (rows <= n) x k; B is k x (cols <= n). Rows/columns beyond the
-     * operand shapes simply see no traffic.
+     * Accumulate C += A x B for one tile. A is (rows <= n) x k; B is
+     * k x (cols <= n). Rows/columns beyond the operand shapes simply see
+     * no traffic. Runs on the engine selected by effectiveMode().
      *
      * @return matmul-mode cycles spent, including stall cycles.
      */
@@ -122,9 +139,12 @@ class SystolicArray
     /**
      * Attach a fault injector (nullptr detaches). While attached, every
      * matmulTile() ends by letting the injector corrupt the live
-     * accumulator region under the given campaign site id (e.g. "M0").
-     * With no injector attached the datapath is untouched and results
-     * are bit-identical to a fault-free build.
+     * accumulator region under the given campaign site id (e.g. "M0"),
+     * and every operation runs on the stepped engine regardless of the
+     * requested mode (fault-replay determinism requires the injector's
+     * RNG to advance exactly once per tile, in schedule order). With no
+     * injector attached the datapath is untouched and results are
+     * bit-identical to a fault-free build.
      */
     void setFaultInjector(FaultInjector *injector, std::string site_id);
 
@@ -139,6 +159,30 @@ class SystolicArray
      * activity must be accounted to this (the architectural) array.
      */
     void absorbStats(const SystolicArray &other);
+
+    /** @name Execution-engine selection @{ */
+
+    /** Request an execution engine (defaults to PROSE_FSIM_MODE). */
+    void setMode(FsimMode mode) { mode_ = mode; }
+
+    /** The requested engine. */
+    FsimMode mode() const { return mode_; }
+
+    /**
+     * The engine the next operation will actually use: Stepped whenever
+     * a fault injector is attached or either stream buffer has a
+     * non-uniform fill profile (no closed form, and Validate's dual run
+     * would advance the injector RNG twice), otherwise mode().
+     */
+    FsimMode effectiveMode() const;
+
+    /** Stream-buffer access (fill profiles, occupancy inspection). */
+    StreamBuffer &aBuffer() { return aBuffer_; }
+    StreamBuffer &bBuffer() { return bBuffer_; }
+    const StreamBuffer &aBuffer() const { return aBuffer_; }
+    const StreamBuffer &bBuffer() const { return bBuffer_; }
+
+    /** @} */
 
     /** @name Statistics @{ */
     std::uint64_t matmulCycles() const { return matmulCycles_; }
@@ -158,16 +202,73 @@ class SystolicArray
         std::vector<std::uint8_t> valid;
     };
 
+    /**
+     * Complete observable state for validate mode. Lane registers are
+     * deliberately excluded: their valid flags are cleared at the start
+     * of every stepped matmul tile and their values are only read while
+     * valid, so they carry no state across operations.
+     */
+    struct EngineState
+    {
+        std::vector<float> acc;
+        std::size_t liveRows;
+        std::size_t liveCols;
+        StreamBuffer::State aBuf;
+        StreamBuffer::State bBuf;
+        std::uint64_t matmulCycles;
+        std::uint64_t simdCycles;
+        std::uint64_t stallCycles;
+        std::uint64_t macCount;
+        std::uint64_t simdOpCount;
+    };
+
+    EngineState captureState() const;
+    void restoreState(const EngineState &state);
+    [[maybe_unused]] void assertEnginesAgree(
+        const char *what, const EngineState &stepped,
+        const EngineState &fast, std::uint64_t stepped_ret,
+        std::uint64_t fast_ret) const;
+
+    /** Run `stepped`/`fast` per effectiveMode(); Validate runs both. */
+    template <typename SteppedFn, typename FastFn>
+    std::uint64_t dispatch(const char *what, SteppedFn stepped,
+                           FastFn fast);
+
+    /** @name The cycle-stepped reference engine @{ */
+    std::uint64_t steppedMatmulTile(const Matrix &a, const Matrix &b);
+    std::uint64_t steppedSimdScalar(SimdOp op, float scalar);
+    std::uint64_t steppedSimdVector(SimdOp op, const Matrix &operand);
+    std::uint64_t steppedSimdSpecial(SimdOp op);
+
     /** Advance the matmul wavefront by one cycle. */
     void stepMatmulCycle(const Matrix &a, const Matrix &b,
                          std::uint64_t wavefront, std::size_t k_depth);
 
-    /** Apply one SIMD ALU operation to a single element. */
-    float applyAlu(SimdOp op, float acc_value, float operand) const;
-
     /** Rotate the live region left one column, writing `results` into
      *  the rightmost live column. */
     void rotateLeft(const std::vector<float> &results);
+    /** @} */
+
+    /** @name The fast-forward engine @{ */
+    std::uint64_t fastMatmulTile(const Matrix &a, const Matrix &b);
+    std::uint64_t fastSimdScalar(SimdOp op, float scalar);
+    std::uint64_t fastSimdVector(SimdOp op, const Matrix &operand);
+    std::uint64_t fastSimdSpecial(SimdOp op);
+
+    /**
+     * Advance the matmul stream-buffer gating without the PE sweep:
+     * closed form when both buffers have ideal supply, otherwise an
+     * O(1)-per-cycle replay of the gate recurrence (bit-equal to the
+     * stepped loop because it performs the identical sequence of
+     * occupancy operations).
+     */
+    std::uint64_t fastForwardMatmulGating(std::size_t rows,
+                                          std::size_t cols,
+                                          std::size_t k_depth);
+    /** @} */
+
+    /** Apply one SIMD ALU operation to a single element. */
+    float applyAlu(SimdOp op, float acc_value, float operand) const;
 
     ArrayGeometry geometry_;
     FaultInjector *injector_ = nullptr;
@@ -176,12 +277,24 @@ class SystolicArray
     StreamBuffer bBuffer_;
     TwoLevelLut geluLut_;
     TwoLevelLut expLut_;
+    FsimMode mode_ = defaultFsimMode();
 
     std::vector<float> acc_;   ///< n*n fp32 accumulators
     Lane aReg_;                ///< eastward-flowing operand registers
     Lane bReg_;                ///< southward-flowing operand registers
 
-    /** Live (occupied) accumulator region from the last matmul. */
+    /** Fast-path scratch: bf16-quantized operand tiles. */
+    std::vector<float> scratchA_;
+    std::vector<float> scratchB_;
+
+    /**
+     * Live (occupied) accumulator region. Grows as the bounding-box
+     * union of all tiles since the last drain/clear: a smaller tile
+     * after a larger one leaves the larger tile's stale accumulator
+     * rows/columns physically in place, and the SIMD rotation and
+     * OUTPUT port must sweep the whole union (see
+     * docs/MICROARCHITECTURE.md, "Live-region semantics").
+     */
     std::size_t liveRows_ = 0;
     std::size_t liveCols_ = 0;
 

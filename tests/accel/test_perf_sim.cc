@@ -276,6 +276,73 @@ TEST(PerfSim, DecoderCrossAttentionCostsGrowWithMemory)
               sim.runDecoder(large).makespan);
 }
 
+/** Run one shape under both schedulers and demand identical reports. */
+void
+expectSchedulersAgree(const ProseConfig &config, const BertShape &shape,
+                      FaultInjector *heap_injector = nullptr,
+                      FaultInjector *ref_injector = nullptr)
+{
+    SimOptions heap_options;
+    heap_options.recordSchedule = true;
+    heap_options.injector = heap_injector;
+    SimOptions ref_options;
+    ref_options.recordSchedule = true;
+    ref_options.referenceScheduler = true;
+    ref_options.injector = ref_injector;
+
+    const SimReport heap_report =
+        PerfSim(config, TimingModel{}, HostModel{}, heap_options)
+            .run(shape);
+    const SimReport ref_report =
+        PerfSim(config, TimingModel{}, HostModel{}, ref_options)
+            .run(shape);
+
+    EXPECT_EQ(heap_report.makespan, ref_report.makespan);
+    EXPECT_EQ(heap_report.taskCount, ref_report.taskCount);
+    EXPECT_EQ(heap_report.bytesIn, ref_report.bytesIn);
+    EXPECT_EQ(heap_report.bytesOut, ref_report.bytesOut);
+    EXPECT_EQ(heap_report.hostBusySeconds, ref_report.hostBusySeconds);
+    for (std::size_t idx = 0; idx < 3; ++idx)
+        EXPECT_EQ(heap_report.typeBusySeconds[idx],
+                  ref_report.typeBusySeconds[idx]);
+
+    // Identical dispatch order, not just identical totals.
+    ASSERT_EQ(heap_report.schedule.size(), ref_report.schedule.size());
+    for (std::size_t i = 0; i < heap_report.schedule.size(); ++i) {
+        const ScheduledItem &h = heap_report.schedule[i];
+        const ScheduledItem &r = ref_report.schedule[i];
+        EXPECT_EQ(h.thread, r.thread) << "item " << i;
+        EXPECT_EQ(h.kind, r.kind) << "item " << i;
+        EXPECT_EQ(h.arrayIndex, r.arrayIndex) << "item " << i;
+        EXPECT_EQ(h.start, r.start) << "item " << i;
+        EXPECT_EQ(h.end, r.end) << "item " << i;
+    }
+}
+
+TEST(PerfSim, EventQueueMatchesReferenceScheduler)
+{
+    for (const BertShape &shape :
+         { smallShape(4, 64), smallShape(32, 128), smallShape(7, 256) }) {
+        expectSchedulersAgree(ProseConfig::bestPerf(), shape);
+        expectSchedulersAgree(ProseConfig::mostEfficient(), shape);
+    }
+}
+
+TEST(PerfSim, EventQueueMatchesReferenceUnderLinkFaults)
+{
+    // The injector draws once per dispatched accelerator task, so
+    // identical dispatch order implies an identical fault sequence.
+    CampaignSpec spec;
+    spec.seed = 5;
+    spec.linkErrorRate = 0.05;
+    spec.linkTimeoutRate = 0.02;
+    FaultInjector heap_injector(spec);
+    FaultInjector ref_injector(spec);
+    expectSchedulersAgree(ProseConfig::bestPerf(), smallShape(16, 128),
+                          &heap_injector, &ref_injector);
+    EXPECT_EQ(heap_injector.eventLogText(), ref_injector.eventLogText());
+}
+
 TEST(PerfSim, HeterogeneousBeatsHomogeneousAtLongLengths)
 {
     // Figure 4's core claim at a batch the tests can afford. Past the

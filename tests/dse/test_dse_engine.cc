@@ -109,6 +109,40 @@ TEST(DseEngine, ParetoPointsAreUndominated)
     }
 }
 
+TEST(DseEngine, ValidateGroundsTheTimingModelInAllEngineModes)
+{
+    const DseEngine engine(testWorkload());
+    for (FsimMode mode :
+         { FsimMode::Fast, FsimMode::Stepped, FsimMode::Validate }) {
+        const DseValidationReport report =
+            engine.validate(ProseConfig::bestPerf(), mode);
+        EXPECT_TRUE(report.ok) << toString(mode);
+        EXPECT_EQ(report.mode, mode);
+        EXPECT_EQ(report.fsimMatmulCycles, report.modelMatmulCycles)
+            << toString(mode);
+        EXPECT_EQ(report.macCount, report.expectedMacCount)
+            << toString(mode);
+        EXPECT_EQ(report.maxAbsError, 0.0f) << toString(mode);
+        EXPECT_GT(report.macCount, 0u);
+    }
+}
+
+TEST(DseEngine, ValidateAgreesAcrossConfigurations)
+{
+    // The probes are sized off each config's geometries, so distinct
+    // configs exercise distinct tile shapes; counters must match the
+    // closed forms regardless.
+    const DseEngine engine(testWorkload());
+    const DseValidationReport fast =
+        engine.validate(ProseConfig::mostEfficient(), FsimMode::Fast);
+    const DseValidationReport stepped =
+        engine.validate(ProseConfig::mostEfficient(), FsimMode::Stepped);
+    EXPECT_TRUE(fast.ok);
+    EXPECT_TRUE(stepped.ok);
+    EXPECT_EQ(fast.fsimMatmulCycles, stepped.fsimMatmulCycles);
+    EXPECT_EQ(fast.macCount, stepped.macCount);
+}
+
 TEST(DseEngineDeathTest, ImpossibleBudgetPanics)
 {
     // 4096 PEs cannot fit one M-Type 64x64 plus G and E arrays.

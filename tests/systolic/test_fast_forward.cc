@@ -1,0 +1,465 @@
+/** @file Cross-validation of the fast-forward execution engine against
+ *  the cycle-stepped reference: randomized geometries, tile shapes,
+ *  supply rates, and op mixes must agree bit-for-bit in register file,
+ *  cycle/stall/MAC counters, and stream-buffer state; fault injection,
+ *  ABFT, and non-uniform fill profiles must force the stepped engine
+ *  without perturbing the deterministic replay contract. Also pins down
+ *  the live-region (bounding-box union) semantics with mixed tile
+ *  sizes. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "fault/fault_injector.hh"
+#include "numerics/bfloat16.hh"
+#include "numerics/matrix.hh"
+#include "systolic/fsim_mode.hh"
+#include "systolic/functional_sim.hh"
+#include "systolic/systolic_array.hh"
+
+namespace prose {
+namespace {
+
+Matrix
+randomMatrix(Rng &rng, std::size_t rows, std::size_t cols, float scale)
+{
+    Matrix m(rows, cols);
+    m.fillGaussian(rng, 0.0f, scale);
+    return m;
+}
+
+bool
+bitEqual(float x, float y)
+{
+    return std::memcmp(&x, &y, sizeof(float)) == 0;
+}
+
+void
+expectBitIdentical(const Matrix &a, const Matrix &b, const char *what)
+{
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            ASSERT_TRUE(bitEqual(a(i, j), b(i, j)))
+                << what << " (" << i << "," << j << "): " << a(i, j)
+                << " vs " << b(i, j);
+}
+
+/** Everything observable after an op sequence. */
+struct SequenceResult
+{
+    std::vector<Matrix> drains;
+    Matrix finalAcc;
+    std::uint64_t matmulCycles = 0;
+    std::uint64_t simdCycles = 0;
+    std::uint64_t stallCycles = 0;
+    std::uint64_t macCount = 0;
+    std::uint64_t simdOpCount = 0;
+    double aOccupancy = 0.0;
+    double bOccupancy = 0.0;
+    std::uint64_t aStalls = 0;
+    std::uint64_t bStalls = 0;
+    std::uint64_t aConsumed = 0;
+    std::uint64_t bConsumed = 0;
+};
+
+/**
+ * Replay a seed-determined random op sequence on one array. The rng
+ * draws are identical across modes, so two calls with the same seed see
+ * the same geometry, rates, shapes, data, and op mix.
+ */
+SequenceResult
+runRandomSequence(FsimMode mode, std::uint64_t seed, bool ideal_rates)
+{
+    Rng rng(seed);
+    const std::size_t dim = 4 + rng.below(13); // 4..16
+    ArrayGeometry geom = ArrayGeometry::gType(dim);
+    geom.hasExp = true; // exercise both LUT kinds on one array
+    const double a_rate = ideal_rates ? 1e18 : rng.uniform(0.2, 2.5);
+    const double b_rate = ideal_rates ? 1e18 : rng.uniform(0.2, 2.5);
+    SystolicArray array(geom, a_rate, b_rate);
+    array.setMode(mode);
+
+    SequenceResult result;
+    bool live = false;
+    const std::size_t ops = 12;
+    for (std::size_t op = 0; op < ops; ++op) {
+        const std::uint64_t kind = live ? rng.below(6) : 0;
+        switch (kind) {
+          case 0: { // matmul (accumulates into any live tile)
+            const std::size_t rows = 1 + rng.below(dim);
+            const std::size_t cols = 1 + rng.below(dim);
+            const std::size_t k = 1 + rng.below(24);
+            const float scale =
+                static_cast<float>(rng.uniform(0.2, 4.0));
+            const Matrix a = randomMatrix(rng, rows, k, scale);
+            const Matrix b = randomMatrix(rng, k, cols, scale);
+            array.matmulTile(a, b);
+            live = true;
+            break;
+          }
+          case 1:
+            array.simdScalar(SimdOp::MulScalar,
+                             static_cast<float>(rng.uniform(-2.0, 2.0)));
+            break;
+          case 2:
+            array.simdScalar(SimdOp::AddScalar,
+                             static_cast<float>(rng.uniform(-2.0, 2.0)));
+            break;
+          case 3: {
+            const SimdOp op_kind =
+                rng.below(2) ? SimdOp::MulVector : SimdOp::AddVector;
+            array.simdVector(op_kind,
+                             randomMatrix(rng, dim, dim, 1.0f));
+            break;
+          }
+          case 4:
+            array.simdSpecial(rng.below(2) ? SimdOp::Gelu : SimdOp::Exp);
+            break;
+          case 5: {
+            Matrix out;
+            array.drain(out);
+            result.drains.push_back(std::move(out));
+            live = false;
+            break;
+          }
+        }
+    }
+    if (live)
+        result.finalAcc = array.accumulators();
+    result.matmulCycles = array.matmulCycles();
+    result.simdCycles = array.simdCycles();
+    result.stallCycles = array.stallCycles();
+    result.macCount = array.macCount();
+    result.simdOpCount = array.simdOpCount();
+    result.aOccupancy = array.aBuffer().occupancy();
+    result.bOccupancy = array.bBuffer().occupancy();
+    result.aStalls = array.aBuffer().stallCycles();
+    result.bStalls = array.bBuffer().stallCycles();
+    result.aConsumed = array.aBuffer().consumed();
+    result.bConsumed = array.bBuffer().consumed();
+    return result;
+}
+
+void
+expectSequencesAgree(const SequenceResult &fast,
+                     const SequenceResult &stepped)
+{
+    ASSERT_EQ(fast.drains.size(), stepped.drains.size());
+    for (std::size_t d = 0; d < fast.drains.size(); ++d)
+        expectBitIdentical(fast.drains[d], stepped.drains[d], "drain");
+    expectBitIdentical(fast.finalAcc, stepped.finalAcc, "accumulators");
+    EXPECT_EQ(fast.matmulCycles, stepped.matmulCycles);
+    EXPECT_EQ(fast.simdCycles, stepped.simdCycles);
+    EXPECT_EQ(fast.stallCycles, stepped.stallCycles);
+    EXPECT_EQ(fast.macCount, stepped.macCount);
+    EXPECT_EQ(fast.simdOpCount, stepped.simdOpCount);
+    EXPECT_EQ(fast.aStalls, stepped.aStalls);
+    EXPECT_EQ(fast.bStalls, stepped.bStalls);
+    EXPECT_EQ(fast.aConsumed, stepped.aConsumed);
+    EXPECT_EQ(fast.bConsumed, stepped.bConsumed);
+    EXPECT_TRUE(std::memcmp(&fast.aOccupancy, &stepped.aOccupancy,
+                            sizeof(double)) == 0)
+        << fast.aOccupancy << " vs " << stepped.aOccupancy;
+    EXPECT_TRUE(std::memcmp(&fast.bOccupancy, &stepped.bOccupancy,
+                            sizeof(double)) == 0)
+        << fast.bOccupancy << " vs " << stepped.bOccupancy;
+}
+
+TEST(FastForward, MatchesSteppedOnRandomSequencesIdealSupply)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        SCOPED_TRACE(seed);
+        expectSequencesAgree(
+            runRandomSequence(FsimMode::Fast, seed, true),
+            runRandomSequence(FsimMode::Stepped, seed, true));
+    }
+}
+
+TEST(FastForward, MatchesSteppedOnRandomSequencesFractionalSupply)
+{
+    bool saw_stalls = false;
+    for (std::uint64_t seed = 100; seed <= 112; ++seed) {
+        SCOPED_TRACE(seed);
+        const SequenceResult fast =
+            runRandomSequence(FsimMode::Fast, seed, false);
+        expectSequencesAgree(
+            fast, runRandomSequence(FsimMode::Stepped, seed, false));
+        saw_stalls = saw_stalls || fast.stallCycles > 0;
+    }
+    // The sweep must actually exercise the stall-gating replay.
+    EXPECT_TRUE(saw_stalls);
+}
+
+TEST(FastForward, ValidateModeRunsBothEnginesAndAgrees)
+{
+    // Validate panics on any engine divergence; it must also produce
+    // exactly the stepped results.
+    for (std::uint64_t seed = 200; seed <= 206; ++seed) {
+        SCOPED_TRACE(seed);
+        expectSequencesAgree(
+            runRandomSequence(FsimMode::Validate, seed, true),
+            runRandomSequence(FsimMode::Stepped, seed, true));
+        expectSequencesAgree(
+            runRandomSequence(FsimMode::Validate, seed, false),
+            runRandomSequence(FsimMode::Stepped, seed, false));
+    }
+}
+
+TEST(FastForward, AlphaAndAddendVariantsThroughFunctionalSim)
+{
+    Rng rng(42);
+    const Matrix a = randomMatrix(rng, 37, 29, 1.0f);
+    const Matrix b = randomMatrix(rng, 29, 41, 1.0f);
+    const Matrix bias = randomMatrix(rng, 1, 41, 1.0f);
+    const Matrix residual = randomMatrix(rng, 37, 41, 1.0f);
+    const float alphas[] = { 1.0f, 0.125f, -1.75f };
+    const Matrix *addends[] = { nullptr, &bias, &residual };
+
+    for (const float alpha : alphas) {
+        for (const Matrix *addend : addends) {
+            FunctionalSimulator fast_sim(ArrayGeometry::mType(16),
+                                         ArrayGeometry::gType(16),
+                                         ArrayGeometry::eType(16));
+            FunctionalSimulator stepped_sim(ArrayGeometry::mType(16),
+                                            ArrayGeometry::gType(16),
+                                            ArrayGeometry::eType(16));
+            fast_sim.setMode(FsimMode::Fast);
+            stepped_sim.setMode(FsimMode::Stepped);
+            expectBitIdentical(fast_sim.dataflow1(a, b, alpha, addend),
+                               stepped_sim.dataflow1(a, b, alpha, addend),
+                               "dataflow1");
+            expectBitIdentical(fast_sim.dataflow2(a, b, alpha, addend),
+                               stepped_sim.dataflow2(a, b, alpha, addend),
+                               "dataflow2");
+            EXPECT_EQ(fast_sim.matmulCycles(),
+                      stepped_sim.matmulCycles());
+            EXPECT_EQ(fast_sim.simdCycles(), stepped_sim.simdCycles());
+            EXPECT_EQ(fast_sim.macCount(), stepped_sim.macCount());
+        }
+    }
+}
+
+TEST(FastForward, Dataflow3BatchParallelClonesInheritTheEngine)
+{
+    Rng rng(7);
+    std::vector<Matrix> q, k, v;
+    for (int batch = 0; batch < 4; ++batch) {
+        q.push_back(randomMatrix(rng, 20, 12, 1.0f));
+        k.push_back(randomMatrix(rng, 20, 12, 1.0f));
+        v.push_back(randomMatrix(rng, 20, 12, 1.0f));
+    }
+    FunctionalSimulator fast_sim;
+    FunctionalSimulator stepped_sim;
+    fast_sim.setMode(FsimMode::Fast);
+    stepped_sim.setMode(FsimMode::Stepped);
+    const std::vector<Matrix> fast_ctx =
+        fast_sim.dataflow3(q, k, v, 0.288675f);
+    const std::vector<Matrix> stepped_ctx =
+        stepped_sim.dataflow3(q, k, v, 0.288675f);
+    ASSERT_EQ(fast_ctx.size(), stepped_ctx.size());
+    for (std::size_t batch = 0; batch < fast_ctx.size(); ++batch)
+        expectBitIdentical(fast_ctx[batch], stepped_ctx[batch],
+                           "dataflow3 context");
+    EXPECT_EQ(fast_sim.matmulCycles(), stepped_sim.matmulCycles());
+    EXPECT_EQ(fast_sim.simdCycles(), stepped_sim.simdCycles());
+    EXPECT_EQ(fast_sim.macCount(), stepped_sim.macCount());
+}
+
+/**
+ * Live-region semantics (see docs/MICROARCHITECTURE.md): the live
+ * region is the bounding-box UNION of all tiles since the last
+ * drain/clear, because a smaller tile leaves the larger tile's stale
+ * accumulators physically in place and the rotation/OUTPUT sweeps must
+ * cover them.
+ */
+TEST(LiveRegion, MixedTileSizesKeepTheBoundingBoxUnion)
+{
+    Rng rng(11);
+    SystolicArray array(ArrayGeometry::mType(8));
+    array.setMode(FsimMode::Validate);
+
+    const Matrix a1 = randomMatrix(rng, 5, 3, 1.0f);
+    const Matrix b1 = randomMatrix(rng, 3, 4, 1.0f);
+    array.matmulTile(a1, b1);
+    EXPECT_EQ(array.accumulators().rows(), 5u);
+    EXPECT_EQ(array.accumulators().cols(), 4u);
+
+    // A smaller tile does NOT shrink the live region...
+    const Matrix a2 = randomMatrix(rng, 2, 7, 1.0f);
+    const Matrix b2 = randomMatrix(rng, 7, 6, 1.0f);
+    array.matmulTile(a2, b2);
+    const Matrix acc = array.accumulators();
+    ASSERT_EQ(acc.rows(), 5u);
+    ASSERT_EQ(acc.cols(), 6u);
+
+    // ...and the union holds both products, zero elsewhere.
+    const Matrix p1 = matmulBf16(a1, b1);
+    const Matrix p2 = matmulBf16(a2, b2);
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) {
+            float expected = 0.0f;
+            if (i < p1.rows() && j < p1.cols())
+                expected += p1(i, j);
+            if (i < p2.rows() && j < p2.cols())
+                expected += p2(i, j);
+            ASSERT_TRUE(bitEqual(acc(i, j), expected))
+                << i << "," << j;
+        }
+    }
+
+    // SIMD passes and the OUTPUT port sweep the whole union: one cycle
+    // per live column.
+    EXPECT_EQ(array.simdScalar(SimdOp::MulScalar, 1.0f), 6u);
+    Matrix out;
+    EXPECT_EQ(array.drain(out), 6u);
+    EXPECT_EQ(out.rows(), 5u);
+    EXPECT_EQ(out.cols(), 6u);
+
+    // drain() clears the region, so a following small tile starts a
+    // fresh bounding box.
+    array.matmulTile(a2, b2);
+    EXPECT_EQ(array.accumulators().rows(), 2u);
+    EXPECT_EQ(array.accumulators().cols(), 6u);
+}
+
+TEST(FastForwardFallback, NonUniformFillProfileForcesStepped)
+{
+    Rng rng(3);
+    const Matrix a = randomMatrix(rng, 6, 9, 1.0f);
+    const Matrix b = randomMatrix(rng, 9, 5, 1.0f);
+
+    SystolicArray fast_array(ArrayGeometry::mType(8), 1.0, 1.0);
+    fast_array.setMode(FsimMode::Fast);
+    EXPECT_EQ(fast_array.effectiveMode(), FsimMode::Fast);
+    // Bursty host: nothing on even fill ticks, two entries on odd.
+    fast_array.aBuffer().setFillProfile({ 0.0, 2.0 });
+    EXPECT_EQ(fast_array.effectiveMode(), FsimMode::Stepped);
+
+    SystolicArray stepped_array(ArrayGeometry::mType(8), 1.0, 1.0);
+    stepped_array.setMode(FsimMode::Stepped);
+    stepped_array.aBuffer().setFillProfile({ 0.0, 2.0 });
+
+    EXPECT_EQ(fast_array.matmulTile(a, b),
+              stepped_array.matmulTile(a, b));
+    expectBitIdentical(fast_array.accumulators(),
+                       stepped_array.accumulators(), "profile acc");
+    EXPECT_EQ(fast_array.stallCycles(), stepped_array.stallCycles());
+    EXPECT_GT(fast_array.stallCycles(), 0u);
+
+    // Restoring the uniform profile restores fast-forward eligibility.
+    fast_array.aBuffer().setFillProfile({});
+    EXPECT_EQ(fast_array.effectiveMode(), FsimMode::Fast);
+}
+
+TEST(FastForwardFallback, InjectorForcesSteppedWithUnchangedReplay)
+{
+    CampaignSpec spec;
+    spec.seed = 77;
+    spec.accFlipRate = 0.05;
+    FaultInjector fast_injector(spec);
+    FaultInjector stepped_injector(spec);
+
+    Rng rng(5);
+    SystolicArray fast_array(ArrayGeometry::mType(8));
+    fast_array.setMode(FsimMode::Fast);
+    fast_array.setFaultInjector(&fast_injector, "M0");
+    EXPECT_EQ(fast_array.effectiveMode(), FsimMode::Stepped);
+
+    // Validate would run both engines and advance the injector RNG
+    // twice, so it too must collapse to a single stepped run.
+    SystolicArray validate_array(ArrayGeometry::mType(8));
+    validate_array.setMode(FsimMode::Validate);
+    FaultInjector validate_injector(spec);
+    validate_array.setFaultInjector(&validate_injector, "M0");
+    EXPECT_EQ(validate_array.effectiveMode(), FsimMode::Stepped);
+
+    SystolicArray stepped_array(ArrayGeometry::mType(8));
+    stepped_array.setMode(FsimMode::Stepped);
+    stepped_array.setFaultInjector(&stepped_injector, "M0");
+
+    for (int tile = 0; tile < 3; ++tile) {
+        const Matrix a = randomMatrix(rng, 7, 6, 1.0f);
+        const Matrix b = randomMatrix(rng, 6, 8, 1.0f);
+        fast_array.matmulTile(a, b);
+        validate_array.matmulTile(a, b);
+        stepped_array.matmulTile(a, b);
+    }
+    // Bit-identical corruption and an identical deterministic log.
+    expectBitIdentical(fast_array.accumulators(),
+                       stepped_array.accumulators(), "fault acc");
+    expectBitIdentical(validate_array.accumulators(),
+                       stepped_array.accumulators(), "fault acc (val)");
+    EXPECT_EQ(fast_injector.eventLogText(),
+              stepped_injector.eventLogText());
+    EXPECT_EQ(validate_injector.eventLogText(),
+              stepped_injector.eventLogText());
+    EXPECT_FALSE(fast_injector.events().empty());
+
+    // Detaching the injector restores the requested engine.
+    fast_array.setFaultInjector(nullptr, "");
+    EXPECT_EQ(fast_array.effectiveMode(), FsimMode::Fast);
+}
+
+TEST(FastForwardFallback, AbftRunsSteppedWithUnchangedDetection)
+{
+    CampaignSpec spec;
+    spec.seed = 123;
+    spec.accFlipRate = 0.01;
+    FaultInjector fast_injector(spec);
+    FaultInjector stepped_injector(spec);
+
+    Rng rng(9);
+    const Matrix a = randomMatrix(rng, 40, 24, 1.0f);
+    const Matrix b = randomMatrix(rng, 24, 36, 1.0f);
+
+    AbftOptions abft;
+    abft.enabled = true;
+    abft.correct = true;
+
+    FunctionalSimulator fast_sim;
+    fast_sim.setMode(FsimMode::Fast);
+    fast_sim.setAbft(abft);
+    fast_sim.setFaultInjector(&fast_injector);
+    // ABFT observes accumulators mid-dataflow: the whole simulator
+    // falls back to the stepped engine.
+    EXPECT_EQ(fast_sim.mArray().mode(), FsimMode::Stepped);
+
+    FunctionalSimulator stepped_sim;
+    stepped_sim.setMode(FsimMode::Stepped);
+    stepped_sim.setAbft(abft);
+    stepped_sim.setFaultInjector(&stepped_injector);
+
+    expectBitIdentical(fast_sim.dataflow1(a, b, 1.0f, nullptr),
+                       stepped_sim.dataflow1(a, b, 1.0f, nullptr),
+                       "abft dataflow1");
+    const AbftStats &fs = fast_sim.abftStats();
+    const AbftStats &ss = stepped_sim.abftStats();
+    EXPECT_EQ(fs.tilesChecked, ss.tilesChecked);
+    EXPECT_EQ(fs.tilesFlagged, ss.tilesFlagged);
+    EXPECT_EQ(fs.locatedElements, ss.locatedElements);
+    EXPECT_EQ(fs.correctedElements, ss.correctedElements);
+    EXPECT_GT(fs.tilesFlagged, 0u);
+    EXPECT_EQ(fast_injector.eventLogText(),
+              stepped_injector.eventLogText());
+}
+
+TEST(FsimModeTest, ParseAndToStringRoundTrip)
+{
+    EXPECT_EQ(parseFsimMode("fast"), FsimMode::Fast);
+    EXPECT_EQ(parseFsimMode("stepped"), FsimMode::Stepped);
+    EXPECT_EQ(parseFsimMode("validate"), FsimMode::Validate);
+    EXPECT_STREQ(toString(FsimMode::Fast), "fast");
+    EXPECT_STREQ(toString(FsimMode::Stepped), "stepped");
+    EXPECT_STREQ(toString(FsimMode::Validate), "validate");
+    EXPECT_EXIT(parseFsimMode("bogus"),
+                ::testing::ExitedWithCode(1),
+                "unknown functional-sim mode");
+}
+
+} // namespace
+} // namespace prose

@@ -78,6 +78,70 @@ TEST(StreamBuffer, SplitPhaseApi)
     EXPECT_EQ(buffer.stallCycles(), 1u);
 }
 
+TEST(StreamBuffer, FillProfileCyclesThroughRates)
+{
+    StreamBuffer buffer(8, 1.0);
+    EXPECT_TRUE(buffer.uniformFill());
+    buffer.setFillProfile({ 0.0, 2.0 });
+    EXPECT_FALSE(buffer.uniformFill());
+    EXPECT_FALSE(buffer.idealSupply());
+
+    buffer.fillTick(); // rate 0.0
+    EXPECT_FALSE(buffer.available());
+    buffer.fillTick(); // rate 2.0
+    EXPECT_EQ(buffer.occupancy(), 2.0);
+    EXPECT_EQ(buffer.fillTicks(), 2u);
+
+    buffer.setFillProfile({});
+    EXPECT_TRUE(buffer.uniformFill());
+}
+
+TEST(StreamBuffer, StateSnapshotRoundTrips)
+{
+    StreamBuffer buffer(8, 0.7);
+    for (int i = 0; i < 9; ++i)
+        buffer.tick();
+    const StreamBuffer::State saved = buffer.state();
+    for (int i = 0; i < 5; ++i)
+        buffer.tick();
+    buffer.restore(saved);
+    EXPECT_EQ(buffer.occupancy(), saved.occupancy);
+    EXPECT_EQ(buffer.stallCycles(), saved.stalls);
+    EXPECT_EQ(buffer.consumed(), saved.consumed);
+    EXPECT_EQ(buffer.fillTicks(), saved.fillTicks);
+}
+
+TEST(StreamBuffer, FastForwardIdealMatchesTickedRecurrence)
+{
+    // An ideal-supply buffer clamps to capacity on every fill tick, so
+    // the closed form must land on the exact same state as ticking.
+    StreamBuffer ticked(8, 1e18);
+    StreamBuffer jumped(8, 1e18);
+    ASSERT_TRUE(ticked.idealSupply());
+
+    const std::uint64_t cycles = 37, consumes = 21;
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+        ticked.fillTick();
+        if (c < consumes)
+            ticked.consume();
+    }
+    jumped.fastForwardIdeal(cycles, consumes);
+    EXPECT_EQ(jumped.occupancy(), ticked.occupancy());
+    EXPECT_EQ(jumped.consumed(), ticked.consumed());
+    EXPECT_EQ(jumped.fillTicks(), ticked.fillTicks());
+
+    // Consuming on the final cycle leaves depth - 1 instead of depth.
+    StreamBuffer ticked_full(8, 1e18);
+    StreamBuffer jumped_full(8, 1e18);
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+        ticked_full.fillTick();
+        ticked_full.consume();
+    }
+    jumped_full.fastForwardIdeal(cycles, cycles);
+    EXPECT_EQ(jumped_full.occupancy(), ticked_full.occupancy());
+    EXPECT_EQ(jumped_full.consumed(), ticked_full.consumed());
+}
+
 TEST(StreamBufferDeathTest, ConsumeEmptyPanics)
 {
     StreamBuffer buffer(4, 0.1);
