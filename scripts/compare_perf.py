@@ -3,6 +3,7 @@
 
 Usage: compare_perf.py BASELINE.json CURRENT.json [--threshold 2.0]
                        [--floor-ms 20.0]
+       compare_perf.py --self-test
 
 Both files follow the prose-perf-v1 schema emitted by
 bench/perf_regression. Only benches present in BOTH files are compared
@@ -26,53 +27,121 @@ def load(path):
     return {b["name"]: b for b in data["benches"]}
 
 
+def compare(baseline, current, threshold, floor_ms, out=sys.stdout):
+    """Core gate: returns the regressed bench names (shared benches
+    whose current median exceeds both threshold x baseline and the
+    absolute floor). Raises ValueError when nothing overlaps."""
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        raise ValueError(
+            "no benches in common between baseline and current run")
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    if only_base:
+        print(f"note: {len(only_base)} baseline bench(es) not run here: "
+              + ", ".join(only_base), file=out)
+    if only_cur:
+        print(f"note: {len(only_cur)} new bench(es) without a baseline: "
+              + ", ".join(only_cur), file=out)
+
+    width = max(len(n) for n in shared)
+    regressions = []
+    print(f"{'bench':<{width}}  {'base ms':>10}  {'now ms':>10}  ratio",
+          file=out)
+    for name in shared:
+        base_ms = baseline[name]["median_ms"]
+        cur_ms = current[name]["median_ms"]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        regressed = (cur_ms > threshold * base_ms and cur_ms > floor_ms)
+        mark = "  << REGRESSED" if regressed else ""
+        print(f"{name:<{width}}  {base_ms:>10.3f}  {cur_ms:>10.3f}  "
+              f"{ratio:>5.2f}x{mark}", file=out)
+        if regressed:
+            regressions.append(name)
+    return regressions
+
+
+def self_test():
+    """Exercise the gate logic on synthetic runs, no files needed."""
+    import io
+
+    def bench(**kv):
+        return {name: {"median_ms": ms} for name, ms in kv.items()}
+
+    failures = 0
+
+    def check(name, cond):
+        nonlocal failures
+        if not cond:
+            print(f"self-test FAIL: {name}", file=sys.stderr)
+            failures += 1
+
+    sink = io.StringIO()
+    # 3x slower and above the floor -> regressed.
+    got = compare(bench(a=100.0), bench(a=300.0), 2.0, 20.0, out=sink)
+    check("slow bench above floor regresses", got == ["a"])
+    # 3x slower but under the absolute floor -> ignored.
+    got = compare(bench(a=1.0), bench(a=3.0), 2.0, 20.0, out=sink)
+    check("sub-floor bench ignored", got == [])
+    # Exactly at threshold -> not regressed (strict >).
+    got = compare(bench(a=100.0), bench(a=200.0), 2.0, 20.0, out=sink)
+    check("at-threshold not regressed", got == [])
+    # Benches only on one side are reported, not compared.
+    got = compare(bench(a=100.0, gone=5.0), bench(a=100.0, new=900.0),
+                  2.0, 20.0, out=sink)
+    check("one-sided benches skipped", got == [])
+    check("one-sided benches noted",
+          "gone" in sink.getvalue() and "new" in sink.getvalue())
+    # Zero-ms baseline does not divide by zero.
+    got = compare(bench(a=0.0), bench(a=50.0), 2.0, 20.0, out=sink)
+    check("zero baseline handled", got == ["a"])
+    # Disjoint runs are an error.
+    try:
+        compare(bench(a=1.0), bench(b=1.0), 2.0, 20.0, out=sink)
+        check("disjoint runs raise", False)
+    except ValueError:
+        pass
+
+    if failures:
+        print(f"self-test: {failures} case(s) failed", file=sys.stderr)
+        return 1
+    print("self-test: ok")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="regression factor on median ms (default 2)")
     parser.add_argument("--floor-ms", type=float, default=20.0,
                         help="ignore benches whose current median is "
                              "below this (default 20 ms)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded gate-logic tests and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("baseline and current files are required")
 
     baseline = load(args.baseline)
     current = load(args.current)
+    try:
+        regressions = compare(baseline, current, args.threshold,
+                              args.floor_ms)
+    except ValueError as err:
+        sys.exit(str(err))
 
-    shared = sorted(set(baseline) & set(current))
-    if not shared:
-        sys.exit("no benches in common between baseline and current run")
-    only_base = sorted(set(baseline) - set(current))
-    only_cur = sorted(set(current) - set(baseline))
-    if only_base:
-        print(f"note: {len(only_base)} baseline bench(es) not run here: "
-              + ", ".join(only_base))
-    if only_cur:
-        print(f"note: {len(only_cur)} new bench(es) without a baseline: "
-              + ", ".join(only_cur))
-
-    width = max(len(n) for n in shared)
-    regressions = []
-    print(f"{'bench':<{width}}  {'base ms':>10}  {'now ms':>10}  ratio")
-    for name in shared:
-        base_ms = baseline[name]["median_ms"]
-        cur_ms = current[name]["median_ms"]
-        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
-        regressed = (cur_ms > args.threshold * base_ms
-                     and cur_ms > args.floor_ms)
-        mark = "  << REGRESSED" if regressed else ""
-        print(f"{name:<{width}}  {base_ms:>10.3f}  {cur_ms:>10.3f}  "
-              f"{ratio:>5.2f}x{mark}")
-        if regressed:
-            regressions.append(name)
-
+    shared = len(set(baseline) & set(current))
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed beyond "
               f"{args.threshold}x: " + ", ".join(regressions))
         return 1
     print(f"\nok: no bench regressed beyond {args.threshold}x "
-          f"(floor {args.floor_ms} ms) across {len(shared)} shared "
+          f"(floor {args.floor_ms} ms) across {shared} shared "
           "bench(es)")
     return 0
 

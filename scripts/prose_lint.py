@@ -1,0 +1,394 @@
+#!/usr/bin/env python3
+"""prose_lint — project-specific invariants the generic tools can't check.
+
+ProSE promises bit-identical results at any thread count and a
+deterministic replay contract (docs/FAULT_MODEL.md). Those guarantees
+rot through patterns that are perfectly legal C++, so this lint
+mechanically enforces them:
+
+  float-eq        no ==/!= on raw float/double in src/numerics and
+                  src/systolic outside the designated bit-equality
+                  helpers (numerics/float_bits.hh, bfloat16.{hh,cc}).
+                  Value equality on floats silently diverges between
+                  the fused/vectorized and reference paths; bit
+                  equality is the only comparison the determinism
+                  contract speaks about.
+  unordered-iter  no iteration over std::unordered_{map,set} anywhere
+                  in src/ — hash-order iteration feeding a parallel
+                  reduction (or any emitted output) is
+                  non-deterministic across libstdc++ versions and
+                  seeds. Use std::map / sorted vectors.
+  naked-getenv    getenv only inside the designated config shims
+                  (src/systolic/fsim_mode.cc, src/common/thread_pool.cc).
+                  Scattered env probes make runs irreproducible because
+                  nothing records which knobs were read.
+  no-cout         no std::cout / printf-family in src/ — all libraries
+                  report through emitLog (inform/warn/fatal/panic),
+                  which is the only writer that holds the log mutex, so
+                  concurrent simulators never interleave lines. Tools
+                  that legitimately produce stdout take an std::ostream&.
+  include-guard   src/*.hh include guards must match the canonical
+                  PROSE_<DIR>_<FILE>_HH spelling (duplicated guards
+                  silently drop declarations), and no header other than
+                  common/logging.hh may include <iostream> (iostream's
+                  static init leaks into every TU and hides races).
+
+A line may opt out with a trailing marker comment naming the rule, e.g.
+    if (alpha != 0.0f)  // prose-lint: allow(float-eq) — guard, not math
+Markers are deliberately loud so reviewers see every exemption.
+
+Usage:
+  scripts/prose_lint.py [--root DIR] [--list-rules] [--self-test]
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories (relative to the repo root) each rule applies to.
+FLOAT_EQ_DIRS = ("src/numerics", "src/systolic")
+SRC_DIR = "src"
+
+# Files allowed to compare floats directly: the designated bit-equality
+# helpers themselves.
+FLOAT_EQ_HELPERS = {
+    "src/numerics/float_bits.hh",
+    "src/numerics/bfloat16.hh",
+    "src/numerics/bfloat16.cc",
+}
+
+# The designated env-var shims (the only places getenv may appear).
+GETENV_SHIMS = {
+    "src/systolic/fsim_mode.cc",
+    "src/common/thread_pool.cc",
+}
+
+# The one header that may include <iostream> (it IS the logging shim).
+IOSTREAM_HEADER_ALLOWED = {"src/common/logging.hh"}
+
+MARKER_RE = re.compile(r"//\s*prose-lint:\s*allow\(([a-z-]+(?:,\s*[a-z-]+)*)\)")
+
+# A float operand: a float/double literal (1.0f, .5f, 1e-3f, 2.0), or an
+# identifier the line itself declares/casts as float/double.
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?f\b|\d+\.\d+(?:[eE][-+]?\d+)?(?![\w.])"
+FLOAT_CMP_RE = re.compile(
+    r"(?:" + FLOAT_LITERAL + r")\s*[=!]=|[=!]=\s*(?:" + FLOAT_LITERAL + r")"
+)
+FLOAT_DECL_CMP_RE = re.compile(
+    r"\b(?:float|double)\b(?!\s*[*&]).*(?<![=!<>])[=!]=(?!=)"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)"
+)
+UNORDERED_ITER_RE = re.compile(
+    r"for\s*\(.*:\s*(\w+)\s*\)|(\w+)\s*\.\s*(?:begin|cbegin)\s*\(\)"
+)
+
+GETENV_RE = re.compile(r"\bgetenv\s*\(")
+COUT_RE = re.compile(r"\bstd::cout\b|\bprintf\s*\(|\bfprintf\s*\(\s*stdout\b")
+
+GUARD_IFNDEF_RE = re.compile(r"^\s*#ifndef\s+(\w+)")
+GUARD_DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)\s*$")
+
+
+class Finding:
+    def __init__(self, rule, path, line_no, text):
+        self.rule = rule
+        self.path = path
+        self.line_no = line_no
+        self.text = text
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.text}"
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Blank out string/char literals and comments so the regexes never
+    fire on prose inside them. Returns (code_text, still_in_block)."""
+    out = []
+    i, n = 0, len(line)
+    state = "block" if in_block_comment else "code"
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                i += 1
+        else:  # str / chr
+            if c == "\\":
+                i += 2
+                continue
+            if (state == "str" and c == '"') or (state == "chr" and c == "'"):
+                state = "code"
+            out.append(" ")
+            i += 1
+    return "".join(out), state == "block"
+
+
+def allowed_rules(line):
+    m = MARKER_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def expected_guard(relpath):
+    stem = relpath
+    if stem.startswith("src/"):
+        stem = stem[len("src/"):]
+    return "PROSE_" + re.sub(r"[/.\-]", "_", stem).upper()
+
+
+def lint_file(relpath, lines):
+    """Run every applicable rule over one file. `lines` are raw text
+    (no trailing newline). Returns a list of Findings."""
+    findings = []
+    is_header = relpath.endswith(".hh")
+    in_src = relpath.startswith(SRC_DIR + "/") or relpath == SRC_DIR
+    float_eq_applies = (
+        any(relpath.startswith(d + "/") for d in FLOAT_EQ_DIRS)
+        and relpath not in FLOAT_EQ_HELPERS
+    )
+
+    unordered_vars = set()
+    in_block = False
+    code_lines = []
+    for raw in lines:
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        code_lines.append(code)
+        m = UNORDERED_DECL_RE.search(code)
+        if m:
+            unordered_vars.add(m.group(1))
+
+    for idx, (raw, code) in enumerate(zip(lines, code_lines), start=1):
+        allow = allowed_rules(raw)
+
+        if float_eq_applies and "float-eq" not in allow:
+            if FLOAT_CMP_RE.search(code) or FLOAT_DECL_CMP_RE.search(code):
+                findings.append(Finding(
+                    "float-eq", relpath, idx,
+                    "raw float ==/!= — use numerics/float_bits.hh "
+                    "(bitsEqual / isZeroValue) or mark "
+                    "// prose-lint: allow(float-eq)"))
+
+        if in_src and "unordered-iter" not in allow:
+            if "std::unordered_" in code and re.search(
+                    r"for\s*\(.*std::unordered_", code):
+                findings.append(Finding(
+                    "unordered-iter", relpath, idx,
+                    "iterating an unordered container — hash order is "
+                    "not deterministic; use std::map or a sorted vector"))
+            else:
+                m = UNORDERED_ITER_RE.search(code)
+                if m:
+                    var = m.group(1) or m.group(2)
+                    if var in unordered_vars:
+                        findings.append(Finding(
+                            "unordered-iter", relpath, idx,
+                            f"iterating unordered container '{var}' — "
+                            "hash order is not deterministic; use "
+                            "std::map or a sorted vector"))
+
+        if (in_src and relpath not in GETENV_SHIMS
+                and "naked-getenv" not in allow):
+            if GETENV_RE.search(code):
+                findings.append(Finding(
+                    "naked-getenv", relpath, idx,
+                    "getenv outside the designated config shims "
+                    "(fsim_mode.cc, thread_pool.cc) — route new knobs "
+                    "through one of them so runs stay reproducible"))
+
+        if in_src and "no-cout" not in allow:
+            if COUT_RE.search(code):
+                findings.append(Finding(
+                    "no-cout", relpath, idx,
+                    "std::cout/printf in library code — use "
+                    "inform()/warn() (serialized emitLog) or take an "
+                    "std::ostream&"))
+
+    if is_header and in_src:
+        guard = expected_guard(relpath)
+        ifndef = define = None
+        for code in code_lines:
+            if ifndef is None:
+                m = GUARD_IFNDEF_RE.match(code)
+                if m:
+                    ifndef = m.group(1)
+                    continue
+            elif define is None:
+                m = GUARD_DEFINE_RE.match(code)
+                if m:
+                    define = m.group(1)
+                break
+        if ifndef != guard or define != guard:
+            findings.append(Finding(
+                "include-guard", relpath, 1,
+                f"include guard must be {guard} "
+                f"(found ifndef={ifndef!r} define={define!r})"))
+        if relpath not in IOSTREAM_HEADER_ALLOWED:
+            for idx, code in enumerate(code_lines, start=1):
+                if re.search(r'#\s*include\s*<iostream>', code):
+                    findings.append(Finding(
+                        "include-guard", relpath, idx,
+                        "<iostream> in a header — include it in the .cc "
+                        "(or use <ostream>/<iosfwd> in the interface)"))
+    return findings
+
+
+def iter_source_files(root):
+    for dirpath, dirnames, filenames in os.walk(os.path.join(root, SRC_DIR)):
+        dirnames[:] = sorted(d for d in dirnames if d != "CMakeFiles")
+        for name in sorted(filenames):
+            if name.endswith((".cc", ".hh")):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def run_lint(root):
+    findings = []
+    count = 0
+    for relpath in iter_source_files(root):
+        count += 1
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        findings.extend(lint_file(relpath, lines))
+    return findings, count
+
+
+# --- self test ---------------------------------------------------------
+
+SELF_TESTS = [
+    # (name, relpath, source, expected rule names)
+    ("float literal eq flagged", "src/numerics/foo.cc",
+     "if (x == 0.0f) return;", ["float-eq"]),
+    ("float decl eq flagged", "src/systolic/foo.cc",
+     "float a = f(); bool b = a != g();", ["float-eq"]),
+    ("float eq marker honored", "src/numerics/foo.cc",
+     "if (x == 0.0f) return;  // prose-lint: allow(float-eq)", []),
+    ("float eq outside scoped dirs ignored", "src/model/foo.cc",
+     "if (x == 0.0f) return;", []),
+    ("float eq in helper ignored", "src/numerics/float_bits.hh",
+     "#ifndef PROSE_NUMERICS_FLOAT_BITS_HH\n"
+     "#define PROSE_NUMERICS_FLOAT_BITS_HH\n"
+     "inline bool z(float x) { return x == 0.0f; }\n#endif", []),
+    ("int eq not flagged", "src/numerics/foo.cc",
+     "if (rows_ == other.rows_) return;", []),
+    ("float eq in comment ignored", "src/numerics/foo.cc",
+     "// compares x == 0.0f bitwise", []),
+    ("unordered iteration flagged", "src/accel/foo.cc",
+     "std::unordered_map<int, int> m;\nfor (const auto &kv : m) use(kv);",
+     ["unordered-iter"]),
+    ("unordered begin flagged", "src/accel/foo.cc",
+     "std::unordered_set<int> s;\nauto it = s.begin();",
+     ["unordered-iter"]),
+    ("ordered iteration fine", "src/accel/foo.cc",
+     "std::map<int, int> m;\nfor (const auto &kv : m) use(kv);", []),
+    ("naked getenv flagged", "src/accel/foo.cc",
+     'const char *v = std::getenv("PROSE_X");', ["naked-getenv"]),
+    ("getenv in shim fine", "src/common/thread_pool.cc",
+     'const char *v = std::getenv("PROSE_THREADS");', []),
+    ("cout flagged", "src/power/foo.cc",
+     'std::cout << "hi";', ["no-cout"]),
+    ("cout in string ignored", "src/power/foo.cc",
+     'os << "use std::cout elsewhere";', []),
+    ("printf flagged", "src/power/foo.cc",
+     'printf("%d", x);', ["no-cout"]),
+    ("bad include guard flagged", "src/accel/foo.hh",
+     "#ifndef FOO_H\n#define FOO_H\n#endif", ["include-guard"]),
+    ("good include guard fine", "src/accel/foo.hh",
+     "#ifndef PROSE_ACCEL_FOO_HH\n#define PROSE_ACCEL_FOO_HH\n#endif",
+     []),
+    ("iostream in header flagged", "src/accel/foo.hh",
+     "#ifndef PROSE_ACCEL_FOO_HH\n#define PROSE_ACCEL_FOO_HH\n"
+     "#include <iostream>\n#endif", ["include-guard"]),
+    ("iostream in logging header fine", "src/common/logging.hh",
+     "#ifndef PROSE_COMMON_LOGGING_HH\n#define PROSE_COMMON_LOGGING_HH\n"
+     "#include <iostream>\n#endif", []),
+    ("block comment spanning lines ignored", "src/numerics/foo.cc",
+     "/* a == 0.0f\n   b == 1.0f */\nint x = 0;", []),
+]
+
+
+def self_test():
+    failures = 0
+    for name, relpath, source, expected in SELF_TESTS:
+        got = sorted({f.rule for f in lint_file(relpath,
+                                                source.splitlines())})
+        if got != sorted(set(expected)):
+            print(f"self-test FAIL: {name}: expected {sorted(set(expected))},"
+                  f" got {got}", file=sys.stderr)
+            failures += 1
+    total = len(SELF_TESTS)
+    if failures:
+        print(f"self-test: {failures}/{total} cases failed",
+              file=sys.stderr)
+        return 1
+    print(f"self-test: {total}/{total} cases ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded rule-engine tests and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in ("float-eq", "unordered-iter", "naked-getenv",
+                     "no-cout", "include-guard"):
+            print(rule)
+        return 0
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, SRC_DIR)):
+        print(f"error: no {SRC_DIR}/ under {root}", file=sys.stderr)
+        return 2
+
+    findings, count = run_lint(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nprose-lint: {len(findings)} finding(s) across {count} "
+              "files — see docs/STATIC_ANALYSIS.md for the invariants "
+              "and the allow() marker syntax", file=sys.stderr)
+        return 1
+    print(f"prose-lint: clean ({count} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over compile_commands.json with a findings baseline.
+
+The gate is zero-NEW-findings: every diagnostic clang-tidy emits is
+normalized to a stable key of (relative file, check, source-line text)
+— line numbers drift with every edit, source text only drifts when the
+offending line itself changes — and compared against
+scripts/clang_tidy_baseline.txt. Unknown keys fail the run; keys in the
+baseline that no longer fire are reported so the baseline can shrink.
+
+Usage:
+  scripts/run_clang_tidy.py -p build               # gate against baseline
+  scripts/run_clang_tidy.py -p build --update-baseline
+  scripts/run_clang_tidy.py --self-test            # no clang-tidy needed
+  scripts/run_clang_tidy.py -p build --allow-missing  # no-op if absent
+
+Exit status: 0 clean/updated, 1 new findings, 2 environment error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "clang_tidy_baseline.txt")
+
+# clang-tidy diagnostic header: file:line:col: severity: message [check]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[\w.,-]+)\]$")
+
+CANDIDATE_BINARIES = ["clang-tidy"] + [
+    f"clang-tidy-{v}" for v in range(21, 13, -1)]
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CANDIDATE_BINARIES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def normalize_key(root, path, check, line_text):
+    rel = os.path.relpath(os.path.abspath(path), root)
+    rel = rel.replace(os.sep, "/")
+    # Collapse whitespace so formatting churn doesn't invalidate keys.
+    text = " ".join(line_text.split())
+    return f"{rel}|{check}|{text}"
+
+
+def parse_tidy_output(root, output):
+    """Yield (key, human_line) for each diagnostic in clang-tidy stdout.
+
+    The source line echoed by clang-tidy (first non-diagnostic line
+    after the header) anchors the key; diagnostics without one (rare)
+    fall back to the message text.
+    """
+    findings = []
+    lines = output.splitlines()
+    for i, line in enumerate(lines):
+        m = DIAG_RE.match(line)
+        if not m or m.group("file").endswith((".py", ".md")):
+            continue
+        snippet = ""
+        for follow in lines[i + 1:i + 3]:
+            if DIAG_RE.match(follow):
+                break
+            stripped = follow.strip()
+            if stripped and not stripped.startswith("^"):
+                snippet = stripped
+                break
+        anchor = snippet or m.group("msg")
+        for check in m.group("check").split(","):
+            key = normalize_key(root, m.group("file"), check, anchor)
+            findings.append((key, line))
+    return findings
+
+
+def load_baseline(path):
+    keys = set()
+    if not os.path.exists(path):
+        return keys
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                keys.add(line)
+    return keys
+
+
+def write_baseline(path, keys):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# clang-tidy baseline: one normalized finding key per "
+                "line (file|check|source-line).\n"
+                "# Regenerate with scripts/run_clang_tidy.py "
+                "--update-baseline; shrink it whenever findings are\n"
+                "# fixed. New findings (keys not in this file) fail CI.\n")
+        for key in sorted(keys):
+            f.write(key + "\n")
+
+
+def compilation_units(build_dir, source_filter):
+    ccj = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(ccj):
+        sys.exit(f"error: {ccj} not found — configure with "
+                 "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default preset "
+                 "does this)")
+    with open(ccj, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = []
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"]))
+        if re.search(source_filter, path.replace(os.sep, "/")):
+            files.append(path)
+    return sorted(set(files))
+
+
+def run_one(binary, build_dir, path):
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    return proc.stdout
+
+
+# --- self test ---------------------------------------------------------
+
+SELF_TEST_OUTPUT = """\
+/repo/src/accel/perf_sim.cc:42:10: warning: use nullptr [modernize-use-nullptr]
+    Foo *p = 0;
+         ^
+/repo/src/common/stats.cc:7:3: error: std::move of trivial type [performance-move-const-arg]
+    total_ = std::move(x);
+      ^
+/repo/src/common/stats.cc:9:3: warning: two checks fired [bugprone-a,bugprone-b]
+    weird(line);
+"""
+
+
+def self_test():
+    found = parse_tidy_output("/repo", SELF_TEST_OUTPUT)
+    keys = [k for k, _ in found]
+    expected = [
+        "src/accel/perf_sim.cc|modernize-use-nullptr|Foo *p = 0;",
+        "src/common/stats.cc|performance-move-const-arg|"
+        "total_ = std::move(x);",
+        "src/common/stats.cc|bugprone-a|weird(line);",
+        "src/common/stats.cc|bugprone-b|weird(line);",
+    ]
+    failures = 0
+    if keys != expected:
+        print(f"self-test FAIL: parse: expected {expected}, got {keys}",
+              file=sys.stderr)
+        failures += 1
+    # Baseline round-trip through a temp file.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "baseline.txt")
+        write_baseline(path, set(keys))
+        if load_baseline(path) != set(keys):
+            print("self-test FAIL: baseline round-trip", file=sys.stderr)
+            failures += 1
+    # Whitespace churn must not change the key.
+    k1 = normalize_key("/r", "/r/a.cc", "check", "x  ==   y")
+    k2 = normalize_key("/r", "/r/a.cc", "check", "x == y")
+    if k1 != k2:
+        print("self-test FAIL: whitespace normalization", file=sys.stderr)
+        failures += 1
+    if failures:
+        return 1
+    print("self-test: ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: search PATH)")
+    parser.add_argument("--filter", default=r"/src/",
+                        help="regex selecting TUs from the compilation DB "
+                             "(default: the library code; pass "
+                             "'/(src|tests|bench|examples)/' to sweep "
+                             "everything)")
+    parser.add_argument("--jobs", type=int,
+                        default=os.cpu_count() or 1)
+    parser.add_argument("--baseline", default=BASELINE)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="bless current findings instead of gating")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="exit 0 with a note if clang-tidy is absent "
+                             "(for dev boxes without LLVM)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="test the parser/baseline machinery and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    binary = find_clang_tidy(args.clang_tidy)
+    if not binary:
+        msg = "clang-tidy not found on PATH (tried: " + \
+              ", ".join(CANDIDATE_BINARIES) + ")"
+        if args.allow_missing:
+            print(f"note: {msg}; skipping (--allow-missing)")
+            return 0
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    build_dir = os.path.abspath(args.build_dir)
+    files = compilation_units(build_dir, args.filter)
+    if not files:
+        print("error: no translation units matched", file=sys.stderr)
+        return 2
+    print(f"clang-tidy ({binary}): {len(files)} TUs, {args.jobs} jobs")
+
+    findings = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for output in pool.map(
+                lambda f: run_one(binary, build_dir, f), files):
+            findings.extend(parse_tidy_output(root, output))
+
+    # The same header diagnostic surfaces once per including TU.
+    unique = {}
+    for key, human in findings:
+        unique.setdefault(key, human)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, set(unique))
+        print(f"baseline updated: {len(unique)} finding(s) -> "
+              f"{os.path.relpath(args.baseline, root)}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = sorted(set(unique) - baseline)
+    fixed = sorted(baseline - set(unique))
+    if fixed:
+        print(f"note: {len(fixed)} baselined finding(s) no longer fire — "
+              "shrink the baseline:")
+        for key in fixed:
+            print(f"  stale: {key}")
+    if new:
+        print(f"\n{len(new)} NEW clang-tidy finding(s):")
+        for key in new:
+            print(f"  {unique[key]}")
+            print(f"    key: {key}")
+        print("\nFix them (preferred) or bless with --update-baseline "
+              "and justify in the PR.", file=sys.stderr)
+        return 1
+    print(f"ok: no findings above baseline "
+          f"({len(unique)} total, {len(baseline)} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

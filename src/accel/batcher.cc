@@ -11,7 +11,8 @@ double
 BatchPlan::paddingOverhead() const
 {
     return paddedTokens > 0
-               ? 1.0 - static_cast<double>(realTokens) / paddedTokens
+               ? 1.0 - static_cast<double>(realTokens) /
+                           static_cast<double>(paddedTokens)
                : 0.0;
 }
 

@@ -58,12 +58,12 @@ renderGantt(std::ostream &out, const SimReport &report,
         std::string &line = it->second;
         const double end =
             options.perPool ? item.poolEnd : item.end;
+        const double last_col =
+            static_cast<double>(options.columns) - 1.0;
         const auto first = static_cast<std::size_t>(
-            std::min<double>(options.columns - 1.0,
-                             item.start / bucket));
+            std::min<double>(last_col, item.start / bucket));
         const auto last = static_cast<std::size_t>(std::min<double>(
-            options.columns - 1.0,
-            std::max(item.start, end - 1e-15) / bucket));
+            last_col, std::max(item.start, end - 1e-15) / bucket));
         for (std::size_t col = first; col <= last; ++col)
             line[col] = symbolFor(item.kind);
     }

@@ -99,7 +99,7 @@ LanePartition::enumerate(std::uint32_t lanes)
     std::vector<LanePartition> out;
     for (std::uint32_t m = 1; m + 2 <= lanes; ++m)
         for (std::uint32_t g = 1; m + g + 1 <= lanes; ++g)
-            out.push_back(LanePartition{ m, g, lanes - m - g });
+            out.emplace_back(m, g, lanes - m - g);
     return out;
 }
 

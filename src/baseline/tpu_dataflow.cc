@@ -14,9 +14,11 @@ const MovementEnergySpec kEnergy{};
 double
 DataflowTrip::movementEnergyJoules() const
 {
-    return unifiedBufferBytes * kEnergy.unifiedBufferJPerByte +
-           weightBytes * kEnergy.weightJPerByte +
-           hostStreamBytes * kEnergy.hostLinkJPerByte;
+    return static_cast<double>(unifiedBufferBytes) *
+               kEnergy.unifiedBufferJPerByte +
+           static_cast<double>(weightBytes) * kEnergy.weightJPerByte +
+           static_cast<double>(hostStreamBytes) *
+               kEnergy.hostLinkJPerByte;
 }
 
 DataflowTrip

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ThreadSanitizer annotation shims for ProSE.
+ *
+ * The concurrency gate (cmake --preset tsan, docs/STATIC_ANALYSIS.md)
+ * builds the whole tree with -fsanitize=thread and requires the tier-1
+ * suite to run clean with NO project-code suppressions. When a
+ * synchronization pattern is correct but expressed outside TSan's
+ * happens-before vocabulary (e.g. an epoch counter published by a
+ * relaxed store that a later mutex acquire orders), the fix is to use
+ * these annotations AT THE SITE, never a suppressions entry — the
+ * annotation documents the invariant in code and keeps every other
+ * access of the same variable instrumented, whereas a suppression
+ * silences a whole function forever.
+ *
+ * All macros compile to nothing outside TSan builds, so they carry no
+ * release-path cost. GCC defines __SANITIZE_THREAD__; clang signals it
+ * through __has_feature(thread_sanitizer).
+ */
+
+#ifndef PROSE_COMMON_ANNOTATE_HH
+#define PROSE_COMMON_ANNOTATE_HH
+
+#if defined(__SANITIZE_THREAD__)
+#define PROSE_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PROSE_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifndef PROSE_TSAN_ENABLED
+#define PROSE_TSAN_ENABLED 0
+#endif
+
+#if PROSE_TSAN_ENABLED
+
+// The TSan runtime exports the classic dynamic-annotation entry
+// points; declaring them here avoids depending on a sanitizer header
+// that older GCC packages don't ship.
+extern "C" {
+void AnnotateHappensBefore(const char *file, int line,
+                           const volatile void *addr);
+void AnnotateHappensAfter(const char *file, int line,
+                          const volatile void *addr);
+void AnnotateBenignRaceSized(const char *file, int line,
+                             const volatile void *addr, long size,
+                             const char *desc);
+}
+
+/** Order all prior writes of this thread before any thread that runs
+ *  PROSE_ANNOTATE_HAPPENS_AFTER on the same address. */
+#define PROSE_ANNOTATE_HAPPENS_BEFORE(addr)                                 \
+    AnnotateHappensBefore(__FILE__, __LINE__, (const volatile void *)(addr))
+
+#define PROSE_ANNOTATE_HAPPENS_AFTER(addr)                                  \
+    AnnotateHappensAfter(__FILE__, __LINE__, (const volatile void *)(addr))
+
+/**
+ * Declare an intentionally racy object (e.g. an approximate statistics
+ * counter that tolerates lost increments). Use sparingly: anything on
+ * a results path must use real synchronization instead, or the
+ * bit-identical contract is forfeit.
+ */
+#define PROSE_ANNOTATE_BENIGN_RACE_SIZED(addr, size, desc)                  \
+    AnnotateBenignRaceSized(__FILE__, __LINE__,                             \
+                            (const volatile void *)(addr), (long)(size),    \
+                            (desc))
+
+#else // !PROSE_TSAN_ENABLED
+
+// The arguments are still evaluated (and thus "used") so code does
+// not need #if PROSE_TSAN_ENABLED guards around annotation-only
+// variables; they are side-effect-free address expressions by
+// convention, so this costs nothing.
+#define PROSE_ANNOTATE_HAPPENS_BEFORE(addr) ((void)(addr))
+#define PROSE_ANNOTATE_HAPPENS_AFTER(addr) ((void)(addr))
+#define PROSE_ANNOTATE_BENIGN_RACE_SIZED(addr, size, desc)                  \
+    ((void)(addr), (void)(size), (void)(desc))
+
+#endif // PROSE_TSAN_ENABLED
+
+#endif // PROSE_COMMON_ANNOTATE_HH

@@ -57,7 +57,7 @@ double
 Rng::uniform()
 {
     // 53 high bits -> double in [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double

@@ -82,7 +82,9 @@ LogisticHead::fit(const Matrix &features, const std::vector<int> &labels,
             options.learningRate / static_cast<double>(n);
         for (std::size_t j = 0; j < d; ++j) {
             weights_[j] -=
-                scale * (grad[j] + options.l2 * weights_[j] * n);
+                scale * (grad[j] +
+                         options.l2 * weights_[j] *
+                             static_cast<double>(n));
         }
         bias_ -= scale * grad_bias;
     }

@@ -5,6 +5,7 @@
 #include "bfloat16.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "float_bits.hh"
 
 namespace prose {
 
@@ -117,7 +118,7 @@ matmulRows(const Matrix &a, const Matrix &b, Matrix &c, std::size_t r0,
                 const std::size_t j_end = std::min(n, jb + kJBlock);
                 for (std::size_t k = kb; k < k_end; ++k) {
                     const float aik = arow[k];
-                    if (skip_zeros && aik == 0.0f)
+                    if (skip_zeros && isZeroValue(aik))
                         continue;
                     const float *brow = b.row(k);
                     for (std::size_t j = jb; j < j_end; ++j)
@@ -195,7 +196,7 @@ mulAdd(float alpha, const Matrix &a, float beta, const Matrix &b)
 Matrix
 matDiv(const Matrix &a, float alpha)
 {
-    PROSE_ASSERT(alpha != 0.0f, "matDiv by zero");
+    PROSE_ASSERT(!isZeroValue(alpha), "matDiv by zero");
     return scale(a, 1.0f / alpha);
 }
 

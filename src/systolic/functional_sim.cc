@@ -79,8 +79,9 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
                 Matrix acc = array.accumulators();
                 const AbftTileResult verdict =
                     abft_.checkTile(a_tile, b_tile, acc);
-                for (const auto &[r, c] : verdict.corrected)
-                    array.overwriteAccumulator(r, c, acc(r, c));
+                for (const auto &[fix_r, fix_c] : verdict.corrected)
+                    array.overwriteAccumulator(fix_r, fix_c,
+                                               acc(fix_r, fix_c));
             }
 
             // Fused MulAdd: MUL pass (broadcast scalar) + ADD pass

@@ -6,16 +6,10 @@
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
 #include "numerics/bfloat16.hh"
+#include "numerics/float_bits.hh"
 
 namespace prose {
 namespace {
-
-/** Bitwise double comparison (validate mode treats -0.0 != +0.0). */
-bool
-bitsEqual(double x, double y)
-{
-    return std::memcmp(&x, &y, sizeof(double)) == 0;
-}
 
 /**
  * acc[j] += av * b[j] over one accumulator row. The restrict
@@ -165,11 +159,10 @@ SystolicArray::assertEnginesAgree(const char *what,
               ", b ", stepped.bBuf.occupancy, " vs ",
               fast.bBuf.occupancy);
     }
-    if (std::memcmp(stepped.acc.data(), fast.acc.data(),
-                    stepped.acc.size() * sizeof(float)) != 0) {
+    if (!bitsEqual(stepped.acc.data(), fast.acc.data(),
+                   stepped.acc.size())) {
         for (std::size_t idx = 0; idx < stepped.acc.size(); ++idx) {
-            if (std::memcmp(&stepped.acc[idx], &fast.acc[idx],
-                            sizeof(float)) != 0) {
+            if (!bitsEqual(stepped.acc[idx], fast.acc[idx])) {
                 panic("validate(", what, "): accumulator (", idx / n,
                       ",", idx % n, ") diverges: stepped=",
                       stepped.acc[idx], " fast=", fast.acc[idx]);

@@ -117,9 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          "homogeneous", "bestPerfPlus",
                                          "homogeneousPlus"),
                        ::testing::Values(64u, 256u, 1024u)),
-    [](const auto &info) {
-        return std::get<0>(info.param) + "_len" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) + "_len" +
+               std::to_string(std::get<1>(param_info.param));
     });
 
 } // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Contention stress for the dataflow3 batch fan-out: clone arrays run
+ * batch elements in parallel and absorbStats folds their counters back
+ * into the architectural array. Under TSan this exercises the
+ * clone/absorb lifecycle for races; everywhere it pins the contract
+ * that batch-parallel results AND statistics are bit-identical to the
+ * serial loop.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+#include "numerics/float_bits.hh"
+#include "systolic/functional_sim.hh"
+
+namespace prose {
+namespace {
+
+std::vector<Matrix>
+randomBatch(Rng &rng, std::size_t batch, std::size_t rows,
+            std::size_t cols)
+{
+    std::vector<Matrix> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        Matrix m(rows, cols);
+        m.fillGaussian(rng, 0.0f, 1.0f);
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+struct SimCounters
+{
+    std::uint64_t matmul, simd, macs;
+};
+
+SimCounters
+counters(const FunctionalSimulator &sim)
+{
+    return { sim.matmulCycles(), sim.simdCycles(), sim.macCount() };
+}
+
+// One serial reference pass vs repeated parallel passes on a shared
+// 4-lane pool, with a batch big enough that several clones are in
+// flight at once. Outputs and folded counters must match bit for bit
+// on every repetition.
+TEST(Dataflow3Stress, BatchParallelBitIdenticalUnderContention)
+{
+    const std::size_t kBatch = 8;
+    Rng rng(7);
+    const auto q = randomBatch(rng, kBatch, 9, 6);
+    const auto k = randomBatch(rng, kBatch, 9, 6);
+    const auto v = randomBatch(rng, kBatch, 9, 6);
+
+    FunctionalSimulator serial_sim(ArrayGeometry::mType(8),
+                                   ArrayGeometry::gType(8),
+                                   ArrayGeometry::eType(8));
+    std::vector<Matrix> want;
+    SimCounters want_counters{};
+    {
+        ThreadPool::SerialGuard guard;
+        want = serial_sim.dataflow3(q, k, v, 0.5f);
+        want_counters = counters(serial_sim);
+    }
+
+    ThreadPool pool(4);
+    ThreadPool::setGlobalOverride(&pool);
+    for (int rep = 0; rep < 4; ++rep) {
+        FunctionalSimulator sim(ArrayGeometry::mType(8),
+                                ArrayGeometry::gType(8),
+                                ArrayGeometry::eType(8));
+        const std::vector<Matrix> got = sim.dataflow3(q, k, v, 0.5f);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t b = 0; b < got.size(); ++b) {
+            ASSERT_EQ(got[b].rows(), want[b].rows());
+            ASSERT_EQ(got[b].cols(), want[b].cols());
+            for (std::size_t i = 0; i < got[b].rows(); ++i)
+                for (std::size_t j = 0; j < got[b].cols(); ++j)
+                    ASSERT_TRUE(
+                        bitsEqual(got[b](i, j), want[b](i, j)))
+                        << "rep " << rep << " batch " << b << " ("
+                        << i << "," << j << ")";
+        }
+        const SimCounters got_counters = counters(sim);
+        EXPECT_EQ(got_counters.matmul, want_counters.matmul);
+        EXPECT_EQ(got_counters.simd, want_counters.simd);
+        EXPECT_EQ(got_counters.macs, want_counters.macs);
+    }
+    ThreadPool::setGlobalOverride(nullptr);
+}
+
+// Two simulators sharing the pool from two submitter threads: clone
+// fan-outs from independent simulators must not interfere (each
+// absorbs only its own clones' counters).
+TEST(Dataflow3Stress, IndependentSimulatorsShareThePool)
+{
+    const std::size_t kBatch = 6;
+    Rng rng(11);
+    const auto q = randomBatch(rng, kBatch, 7, 5);
+    const auto k = randomBatch(rng, kBatch, 7, 5);
+    const auto v = randomBatch(rng, kBatch, 7, 5);
+
+    FunctionalSimulator ref_sim(ArrayGeometry::mType(8),
+                                ArrayGeometry::gType(8),
+                                ArrayGeometry::eType(8));
+    std::vector<Matrix> want;
+    SimCounters want_counters{};
+    {
+        ThreadPool::SerialGuard guard;
+        want = ref_sim.dataflow3(q, k, v, 1.0f);
+        want_counters = counters(ref_sim);
+    }
+
+    ThreadPool pool(4);
+    ThreadPool::setGlobalOverride(&pool);
+    std::vector<SimCounters> results(2);
+    std::vector<std::thread> drivers;
+    std::atomic<int> mismatches{ 0 };
+    for (int t = 0; t < 2; ++t) {
+        drivers.emplace_back([&, t] {
+            FunctionalSimulator sim(ArrayGeometry::mType(8),
+                                    ArrayGeometry::gType(8),
+                                    ArrayGeometry::eType(8));
+            const auto got = sim.dataflow3(q, k, v, 1.0f);
+            for (std::size_t b = 0; b < got.size(); ++b)
+                for (std::size_t i = 0; i < got[b].rows(); ++i)
+                    for (std::size_t j = 0; j < got[b].cols(); ++j)
+                        if (!bitsEqual(got[b](i, j), want[b](i, j)))
+                            mismatches.fetch_add(1);
+            results[t] = counters(sim);
+        });
+    }
+    for (auto &t : drivers)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    for (const SimCounters &c : results) {
+        EXPECT_EQ(c.matmul, want_counters.matmul);
+        EXPECT_EQ(c.simd, want_counters.simd);
+        EXPECT_EQ(c.macs, want_counters.macs);
+    }
+    ThreadPool::setGlobalOverride(nullptr);
+}
+
+} // namespace
+} // namespace prose

@@ -135,8 +135,8 @@ TEST_P(ArrayDimSweep, StallingNeverChangesResults)
 
 INSTANTIATE_TEST_SUITE_P(Geometries, ArrayDimSweep,
                          ::testing::Values(2u, 3u, 4u, 5u, 8u, 11u, 16u),
-                         [](const auto &info) {
-                             return "dim" + std::to_string(info.param);
+                         [](const auto &param_info) {
+                             return "dim" + std::to_string(param_info.param);
                          });
 
 /** Sweep the SIMD special functions across LUT-equipped sizes. */
@@ -163,8 +163,8 @@ TEST_P(LutArraySweep, GeluAndExpPassesRunOnTheirTypes)
 
 INSTANTIATE_TEST_SUITE_P(LutGeometries, LutArraySweep,
                          ::testing::Values(4u, 16u, 32u),
-                         [](const auto &info) {
-                             return "dim" + std::to_string(info.param);
+                         [](const auto &param_info) {
+                             return "dim" + std::to_string(param_info.param);
                          });
 
 } // namespace
