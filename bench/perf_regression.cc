@@ -36,6 +36,8 @@
 #include "model/bert_model.hh"
 #include "model/tokenizer.hh"
 #include "numerics/matrix.hh"
+#include "serve/serve_sim.hh"
+#include "serve/service_model.hh"
 #include "systolic/functional_sim.hh"
 #include "trace/dataflow.hh"
 
@@ -348,6 +350,46 @@ main(int argc, char **argv)
                       << "): " << Table::fmt(fsim_layer_speedup, 1)
                       << "x\n\n";
         }
+    }
+
+    // --- Serving front end: healthy vs chaos drill --------------------
+    {
+        // The open-loop serving loop itself must stay cheap: its event
+        // loop plus the memoized service model are pure host work, and
+        // a wall-clock regression here slows every SLO drill and test.
+        // Fixed 1k-request stream in quick and full runs so CI always
+        // compares like for like.
+        ServeSpec spec;
+        spec.model = BertShape{ 1, 256, 4, 1024, 1, 64 };
+        spec.batcher.buckets = { 128, 256 };
+        spec.batcher.maxBatch = 4;
+        spec.instanceCount = 4;
+        spec.arrivals.seed = 2022;
+        spec.arrivals.count = 1000;
+        spec.arrivals.minResidues = 126;
+        spec.arrivals.maxResidues = 126;
+        const ServiceModel service(spec.instance, spec.model,
+                                   spec.dispatchOverheadSeconds);
+        spec.arrivals.ratePerSecond =
+            0.7 * service.capacityPerSecond(128, spec.batcher.maxBatch,
+                                            spec.instanceCount);
+        spec.sloSeconds =
+            8.0 * service.seconds(128, spec.batcher.maxBatch);
+        const ServeSim serve_sim(spec);
+        results.push_back(
+            timeBench("serve_slo_healthy_1k", repeats, [&] {
+                volatile double sink =
+                    serve_sim.run().goodputPerSecond;
+                (void)sink;
+            }));
+        results.push_back(
+            timeBench("serve_slo_chaos_kill_1k", repeats, [&] {
+                FaultInjector injector(
+                    CampaignSpec::parse("kill_instance=1@#500"));
+                volatile double sink =
+                    serve_sim.run(&injector).goodputPerSecond;
+                (void)sink;
+            }));
     }
 
     // --- Report -------------------------------------------------------

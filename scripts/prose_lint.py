@@ -332,6 +332,19 @@ SELF_TESTS = [
      "#include <iostream>\n#endif", []),
     ("block comment spanning lines ignored", "src/numerics/foo.cc",
      "/* a == 0.0f\n   b == 1.0f */\nint x = 0;", []),
+    # The serving layer is ordinary src/ — its reports go through
+    # describe()/ostream, never stdout, and its guards are canonical.
+    ("cout in serve flagged", "src/serve/foo.cc",
+     'std::cout << report.describe();', ["no-cout"]),
+    ("serve include guard canonical", "src/serve/serve_sim.hh",
+     "#ifndef PROSE_SERVE_SERVE_SIM_HH\n"
+     "#define PROSE_SERVE_SERVE_SIM_HH\n#endif", []),
+    ("serve include guard typo flagged", "src/serve/foo.hh",
+     "#ifndef PROSE_SERVING_FOO_HH\n#define PROSE_SERVING_FOO_HH\n"
+     "#endif", ["include-guard"]),
+    ("unordered iteration in serve flagged", "src/serve/foo.cc",
+     "std::unordered_map<int, int> q;\nfor (const auto &kv : q) use(kv);",
+     ["unordered-iter"]),
 ]
 
 

@@ -16,29 +16,35 @@ BatchPlan::paddingOverhead() const
                : 0.0;
 }
 
+std::uint64_t
+bucketForTokens(std::uint64_t tokens,
+                const std::vector<std::uint64_t> &buckets)
+{
+    PROSE_ASSERT(!buckets.empty(), "batcher needs buckets");
+    for (std::size_t i = 1; i < buckets.size(); ++i)
+        PROSE_ASSERT(buckets[i] > buckets[i - 1],
+                     "buckets must be strictly increasing");
+    for (std::uint64_t candidate : buckets)
+        if (tokens <= candidate)
+            return candidate;
+    // Overlong sequences truncate to the last bucket (the tokenizer's
+    // behavior).
+    return buckets.back();
+}
+
 BatchPlan
 planBatches(const std::vector<std::size_t> &residue_lengths,
             const BatcherSpec &spec)
 {
     PROSE_ASSERT(!spec.buckets.empty(), "batcher needs buckets");
-    for (std::size_t i = 1; i < spec.buckets.size(); ++i)
-        PROSE_ASSERT(spec.buckets[i] > spec.buckets[i - 1],
-                     "buckets must be strictly increasing");
     PROSE_ASSERT(spec.maxBatch > 0, "batcher needs a positive maxBatch");
 
     // Group token lengths (residues + CLS + SEP) per bucket.
     std::map<std::uint64_t, std::vector<std::uint64_t>> per_bucket;
     for (std::size_t residues : residue_lengths) {
         std::uint64_t tokens = static_cast<std::uint64_t>(residues) + 2;
-        std::uint64_t bucket = spec.buckets.back();
-        for (std::uint64_t candidate : spec.buckets) {
-            if (tokens <= candidate) {
-                bucket = candidate;
-                break;
-            }
-        }
-        // Overlong sequences truncate to the last bucket (the
-        // tokenizer's behavior).
+        const std::uint64_t bucket =
+            bucketForTokens(tokens, spec.buckets);
         tokens = std::min(tokens, bucket);
         per_bucket[bucket].push_back(tokens);
     }

@@ -57,6 +57,16 @@ struct BatchPlan
     double paddingOverhead() const;
 };
 
+/**
+ * Padded length of the bucket that serves a `tokens`-token sequence:
+ * the smallest bucket >= tokens, or the last bucket for overlong
+ * sequences (which truncate, matching the tokenizer). Shared by the
+ * closed-loop planner below and the open-loop dynamic batcher in
+ * src/serve. Buckets must be non-empty and strictly increasing.
+ */
+std::uint64_t bucketForTokens(std::uint64_t tokens,
+                              const std::vector<std::uint64_t> &buckets);
+
 /** Bucket a list of raw protein lengths (residues, pre-CLS/SEP). */
 BatchPlan planBatches(const std::vector<std::size_t> &residue_lengths,
                       const BatcherSpec &spec = BatcherSpec{});

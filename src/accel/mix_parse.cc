@@ -1,6 +1,7 @@
 #include "mix_parse.hh"
 
 #include <cctype>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -9,16 +10,23 @@ namespace prose {
 
 namespace {
 
-/** Parse a non-negative integer; fatal with context otherwise. */
+/** Parse a non-negative integer; fatal with context otherwise (a
+ *  digit string too large for 32 bits is malformed input, not an
+ *  exception escaping to std::terminate). */
 std::uint32_t
 parseCount(const std::string &text, const std::string &context)
 {
     if (text.empty())
         fatal("missing number in ", context);
-    for (char ch : text)
+    std::uint64_t value = 0;
+    for (char ch : text) {
         if (!std::isdigit(static_cast<unsigned char>(ch)))
             fatal("'", text, "' is not a number in ", context);
-    return static_cast<std::uint32_t>(std::stoul(text));
+        value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+        if (value > std::numeric_limits<std::uint32_t>::max())
+            fatal("'", text, "' is out of range in ", context);
+    }
+    return static_cast<std::uint32_t>(value);
 }
 
 } // namespace
@@ -40,6 +48,8 @@ parseMixSpec(const std::string &spec)
             parseCount(part.substr(1, x_pos - 1), "mix group dim");
         const std::uint32_t count =
             parseCount(part.substr(x_pos + 1), "mix group count");
+        if (dim == 0)
+            fatal("group '", part, "' has a zero array dimension");
         if (count == 0)
             fatal("group '", part, "' has a zero count");
 

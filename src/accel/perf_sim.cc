@@ -19,6 +19,24 @@ typeCode(ArrayType type)
     return toString(type)[0];
 }
 
+/** Expand per-thread finish times into per-inference completion times:
+ *  every sequence of a thread's slice finishes when the thread drains. */
+void
+expandInferenceEnds(SimReport &report,
+                    const std::vector<std::uint64_t> &shares)
+{
+    PROSE_ASSERT(shares.size() == report.threadFinishSeconds.size(),
+                 "thread share/finish mismatch");
+    report.inferenceEndSeconds.clear();
+    report.inferenceEndSeconds.reserve(report.inferences);
+    for (std::size_t t = 0; t < shares.size(); ++t)
+        report.inferenceEndSeconds.insert(
+            report.inferenceEndSeconds.end(), shares[t],
+            report.threadFinishSeconds[t]);
+    PROSE_ASSERT(report.inferenceEndSeconds.size() == report.inferences,
+                 "inference completion times do not cover the batch");
+}
+
 } // namespace
 
 double
@@ -131,6 +149,7 @@ PerfSim::run(const BertShape &shape) const
     const std::uint64_t used_threads =
         std::min<std::uint64_t>(config_.threads, shape.batch);
     std::vector<std::vector<DataflowTask>> thread_tasks;
+    std::vector<std::uint64_t> shares;
     DataflowBuilder builder;
     for (std::uint64_t t = 0; t < used_threads; ++t) {
         BertShape slice = shape;
@@ -138,10 +157,12 @@ PerfSim::run(const BertShape &shape) const
                       (t < shape.batch % used_threads ? 1 : 0);
         if (slice.batch == 0)
             continue;
+        shares.push_back(slice.batch);
         thread_tasks.push_back(builder.build(synthesizeBertTrace(slice)));
     }
     SimReport report = runTasks(thread_tasks);
     report.inferences = shape.batch;
+    expandInferenceEnds(report, shares);
     return report;
 }
 
@@ -152,6 +173,7 @@ PerfSim::runDecoder(const DecoderShape &shape) const
     const std::uint64_t used_threads =
         std::min<std::uint64_t>(config_.threads, shape.batch);
     std::vector<std::vector<DataflowTask>> thread_tasks;
+    std::vector<std::uint64_t> shares;
     DataflowBuilder builder;
     for (std::uint64_t t = 0; t < used_threads; ++t) {
         DecoderShape slice = shape;
@@ -159,11 +181,13 @@ PerfSim::runDecoder(const DecoderShape &shape) const
                       (t < shape.batch % used_threads ? 1 : 0);
         if (slice.batch == 0)
             continue;
+        shares.push_back(slice.batch);
         thread_tasks.push_back(
             builder.build(synthesizeDecoderTrace(slice)));
     }
     SimReport report = runTasks(thread_tasks);
     report.inferences = shape.batch;
+    expandInferenceEnds(report, shares);
     return report;
 }
 
@@ -394,6 +418,10 @@ PerfSim::runTasks(
                 queue.emplace(candidateFor(t).start, t);
         }
     }
+
+    report.threadFinishSeconds.reserve(threads.size());
+    for (const ThreadState &ts : threads)
+        report.threadFinishSeconds.push_back(ts.readyAt);
 
     if (report.makespan > 0.0) {
         report.cpuDuty = std::min(

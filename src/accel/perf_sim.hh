@@ -76,6 +76,19 @@ struct SimReport
     /** Optional Gantt records (enabled via SimOptions). */
     std::vector<ScheduledItem> schedule;
 
+    /** When each software thread drained its task chain (thread order;
+     *  the makespan is the maximum entry). */
+    std::vector<double> threadFinishSeconds;
+
+    /**
+     * Per-inference completion times (size == inferences). A thread's
+     * sequences all finish when the thread drains, so entries are the
+     * thread finish times expanded by each thread's batch share. Only
+     * run()/runDecoder() fill this; a bare runTasks() has no notion of
+     * inferences.
+     */
+    std::vector<double> inferenceEndSeconds;
+
     /** @name Fault/recovery accounting (all zero without an injector) @{ */
     std::uint64_t linkTransferErrors = 0; ///< corrupted transfers seen
     std::uint64_t linkTimeouts = 0;       ///< hung transfers seen

@@ -1,6 +1,7 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -78,6 +79,7 @@ ProseSystem::run(const BertShape &shape, FaultInjector *injector,
     // before it drains its shard, the incomplete inferences are
     // re-sharded across the survivors as a recovery wave that starts
     // once the death is detected and the survivors are free.
+    double wave_start = 0.0;
     if (injector) {
         std::uint64_t lost = 0;
         std::vector<std::uint32_t> survivors;
@@ -101,7 +103,7 @@ ProseSystem::run(const BertShape &shape, FaultInjector *injector,
             if (survivors.empty())
                 fatal("fault campaign killed every ProSE instance; "
                       "nothing left to re-shard onto");
-            double wave_start = death_floor;
+            wave_start = death_floor;
             for (const std::uint32_t s : survivors)
                 wave_start = std::max(wave_start,
                                       report.perInstance[s].makespan);
@@ -142,6 +144,43 @@ ProseSystem::run(const BertShape &shape, FaultInjector *injector,
             report.taskRetries += inst.taskRetries;
         }
     }
+
+    // Per-inference completion times (doc on SystemReport): the first
+    // `used` perInstance entries are the original shards, anything past
+    // them is the recovery wave shifted to its start time. A killed
+    // shard's pre-death completions follow the same uniform-progress
+    // model that sized the re-shard, so count and tail stay consistent.
+    report.completionSeconds.reserve(report.inferences);
+    for (std::uint32_t i = 0; i < used; ++i) {
+        const SimReport &inst = report.perInstance[i];
+        const double death =
+            injector ? injector->instanceKillSeconds(i)
+                     : std::numeric_limits<double>::infinity();
+        if (death < inst.makespan) {
+            const std::uint64_t completed = static_cast<std::uint64_t>(
+                static_cast<double>(slices[i]) *
+                (death / inst.makespan));
+            const double step =
+                inst.makespan / static_cast<double>(slices[i]);
+            for (std::uint64_t j = 0; j < completed; ++j)
+                report.completionSeconds.push_back(
+                    static_cast<double>(j + 1) * step);
+        } else {
+            report.completionSeconds.insert(
+                report.completionSeconds.end(),
+                inst.inferenceEndSeconds.begin(),
+                inst.inferenceEndSeconds.end());
+        }
+    }
+    for (std::size_t w = used; w < report.perInstance.size(); ++w)
+        for (const double end :
+             report.perInstance[w].inferenceEndSeconds)
+            report.completionSeconds.push_back(wave_start + end);
+    PROSE_ASSERT(report.completionSeconds.size() == report.inferences,
+                 "per-inference completion times do not cover the "
+                 "batch: ",
+                 report.completionSeconds.size(), " of ",
+                 report.inferences);
 
     // Combined host duty over the whole host's capacity.
     if (report.makespan > 0.0) {

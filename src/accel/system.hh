@@ -59,6 +59,16 @@ struct SystemReport
     std::uint64_t linkTransferErrors = 0;
     std::uint64_t linkTimeouts = 0;
     std::uint64_t taskRetries = 0;
+    /**
+     * Per-inference completion times (size == inferences), instance-
+     * major: surviving shards report their simulated per-thread finish
+     * times; a killed shard contributes its pre-death completions under
+     * the same uniform-progress model that sizes the re-shard; re-
+     * sharded inferences land at wave start + wave completion time. The
+     * maximum entry equals the makespan — the resharded-tail regression
+     * test pins both that and the count.
+     */
+    std::vector<double> completionSeconds;
     /** @} */
 
     double inferencesPerSecond() const;

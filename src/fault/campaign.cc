@@ -139,11 +139,22 @@ CampaignSpec::parse(const std::string &text)
             kill.atSeconds = at;
             spec.arrayKills.push_back(kill);
         } else if (key == "kill_instance") {
-            const auto [payload, at] = parseAt(value, key);
+            const auto at_pos = value.find('@');
+            if (at_pos == std::string::npos)
+                fatal("campaign spec: kill_instance needs an @seconds "
+                      "or @#arrival suffix: '", value, "'");
             InstanceKill kill;
-            kill.instance =
-                static_cast<std::uint32_t>(parseUint(payload, key));
-            kill.atSeconds = at;
+            kill.instance = static_cast<std::uint32_t>(
+                parseUint(value.substr(0, at_pos), key));
+            const std::string when = value.substr(at_pos + 1);
+            if (!when.empty() && when[0] == '#') {
+                // Arrival-indexed: the instance dies when request #N
+                // of the open-loop stream arrives.
+                kill.atArrival = static_cast<std::int64_t>(
+                    parseUint(when.substr(1), key));
+            } else {
+                kill.atSeconds = parseRate(when, key);
+            }
             spec.instanceKills.push_back(kill);
         } else {
             fatal("campaign spec: unknown key '", key, "'");
@@ -176,7 +187,11 @@ CampaignSpec::describe() const
            << kill.atSeconds;
     }
     for (const InstanceKill &kill : instanceKills) {
-        os << " kill_instance=" << kill.instance << '@' << kill.atSeconds;
+        os << " kill_instance=" << kill.instance << '@';
+        if (kill.atArrival >= 0)
+            os << '#' << kill.atArrival;
+        else
+            os << kill.atSeconds;
     }
     return os.str();
 }
@@ -211,8 +226,12 @@ CampaignSpec::validate() const
             fatal("campaign spec: kill_array time must be >= 0");
     }
     for (const InstanceKill &kill : instanceKills) {
-        if (kill.atSeconds < 0.0)
-            fatal("campaign spec: kill_instance time must be >= 0");
+        const bool timed = kill.atSeconds >= 0.0;
+        const bool indexed = kill.atArrival >= 0;
+        if (timed == indexed)
+            fatal("campaign spec: kill_instance needs exactly one of "
+                  "@seconds (>= 0) or @#arrival-index, got seconds=",
+                  kill.atSeconds, " arrival=", kill.atArrival);
     }
 }
 

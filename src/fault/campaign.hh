@@ -67,11 +67,22 @@ struct ArrayKill
     double atSeconds = 0.0;  ///< simulated time of death
 };
 
-/** Scheduled death of one ProSE instance of a system. */
+/**
+ * Scheduled death of one ProSE instance of a system. Two addressing
+ * modes: a simulated-time kill (`atSeconds >= 0`, the classic form) or
+ * an arrival-indexed kill (`atArrival >= 0`): the instance dies the
+ * moment the Nth request of an open-loop stream arrives, which lets a
+ * chaos campaign pin "die mid-stream" to a workload position instead
+ * of a wall-clock guess. Exactly one of the two must be set; the
+ * serving layer resolves arrival indices to seconds against its
+ * arrival stream (closed-loop simulators ignore arrival-indexed
+ * kills — they have no arrival stream to index).
+ */
 struct InstanceKill
 {
     std::uint32_t instance = 0;
-    double atSeconds = 0.0;
+    double atSeconds = -1.0;
+    std::int64_t atArrival = -1; ///< request-arrival index, -1 = unset
 };
 
 /** The full, seeded description of one fault campaign. */
@@ -110,6 +121,7 @@ struct CampaignSpec
      *   link_timeout_rate=1e-4
      *   kill_array=E:0@2e-3        (type:index@seconds)
      *   kill_instance=1@5e-3       (instance@seconds)
+     *   kill_instance=1@#500       (instance@arrival-index)
      *
      * Unknown keys or malformed values are fatal().
      */

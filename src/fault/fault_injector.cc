@@ -28,8 +28,15 @@ FaultInjector::reset()
                0, 0, 0, kill.atSeconds);
     }
     for (const InstanceKill &kill : spec_.instanceKills) {
-        record(FaultKind::InstanceKill,
-               "instance:" + std::to_string(kill.instance), 0, 0, 0,
+        // Arrival-indexed kills carry the index in the site id (their
+        // concrete time is only known to the serving layer).
+        std::string site = "instance:";
+        site += std::to_string(kill.instance);
+        if (kill.atArrival >= 0) {
+            site += '#';
+            site += std::to_string(kill.atArrival);
+        }
+        record(FaultKind::InstanceKill, std::move(site), 0, 0, 0,
                kill.atSeconds);
     }
 }
@@ -132,8 +139,20 @@ FaultInjector::instanceKillSeconds(std::uint32_t instance) const
 {
     double earliest = std::numeric_limits<double>::infinity();
     for (const InstanceKill &kill : spec_.instanceKills) {
-        if (kill.instance == instance)
+        if (kill.instance == instance && kill.atArrival < 0)
             earliest = std::min(earliest, kill.atSeconds);
+    }
+    return earliest;
+}
+
+std::uint64_t
+FaultInjector::instanceKillArrival(std::uint32_t instance) const
+{
+    std::uint64_t earliest = kNoArrivalKill;
+    for (const InstanceKill &kill : spec_.instanceKills) {
+        if (kill.instance == instance && kill.atArrival >= 0)
+            earliest = std::min(
+                earliest, static_cast<std::uint64_t>(kill.atArrival));
     }
     return earliest;
 }

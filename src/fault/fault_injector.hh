@@ -69,8 +69,22 @@ class FaultInjector
     /** Arrays of one type dead at simulated time `now`. */
     std::uint32_t deadArrays(char type_code, double now) const;
 
-    /** Earliest kill time of an instance, or +infinity if never. */
+    /** Earliest *time-scheduled* kill of an instance, or +infinity if
+     *  never. Arrival-indexed kills are not included — resolve them
+     *  against an arrival stream via instanceKillArrival(). */
     double instanceKillSeconds(std::uint32_t instance) const;
+
+    /** No arrival-indexed kill scheduled for the instance. */
+    static constexpr std::uint64_t kNoArrivalKill =
+        ~static_cast<std::uint64_t>(0);
+
+    /**
+     * Earliest arrival-indexed kill of an instance: the request-stream
+     * index at which it dies, or kNoArrivalKill. The serving layer maps
+     * the index to that request's arrival time (an index past the end
+     * of the stream never fires).
+     */
+    std::uint64_t instanceKillArrival(std::uint32_t instance) const;
 
     /** The deterministic fault/recovery event log. */
     const std::vector<FaultEvent> &events() const { return events_; }

@@ -1,0 +1,31 @@
+#include "admission.hh"
+
+namespace prose {
+
+const char *
+toString(AdmissionDecision decision)
+{
+    switch (decision) {
+      case AdmissionDecision::Admit:
+        return "admit";
+      case AdmissionDecision::ShedSelf:
+        return "shed-self";
+      case AdmissionDecision::ShedOldest:
+        return "shed-oldest";
+    }
+    return "?";
+}
+
+AdmissionDecision
+admit(const AdmissionSpec &spec, const Request &request, double now,
+      std::uint64_t queued, double best_case_service)
+{
+    if (spec.deadlineAware &&
+        now + best_case_service > request.deadlineSeconds)
+        return AdmissionDecision::ShedSelf;
+    if (spec.maxQueueDepth > 0 && queued >= spec.maxQueueDepth)
+        return AdmissionDecision::ShedOldest;
+    return AdmissionDecision::Admit;
+}
+
+} // namespace prose

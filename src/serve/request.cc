@@ -1,0 +1,105 @@
+#include "request.hh"
+
+#include "common/logging.hh"
+
+namespace prose {
+
+const char *
+toString(RequestState state)
+{
+    switch (state) {
+      case RequestState::Queued:
+        return "QUEUED";
+      case RequestState::Admitted:
+        return "ADMITTED";
+      case RequestState::Batched:
+        return "BATCHED";
+      case RequestState::Running:
+        return "RUNNING";
+      case RequestState::Done:
+        return "DONE";
+      case RequestState::TimedOut:
+        return "TIMED_OUT";
+      case RequestState::Shed:
+        return "SHED";
+      case RequestState::Retried:
+        return "RETRIED";
+    }
+    return "?";
+}
+
+bool
+isTerminal(RequestState state)
+{
+    return state == RequestState::Done ||
+           state == RequestState::TimedOut ||
+           state == RequestState::Shed;
+}
+
+bool
+transitionAllowed(RequestState from, RequestState to)
+{
+    switch (from) {
+      case RequestState::Queued:
+        // Admission either accepts, sheds (bounded queue / hopeless
+        // deadline), or times out a request that expired while waiting.
+        return to == RequestState::Admitted ||
+               to == RequestState::Shed || to == RequestState::TimedOut;
+      case RequestState::Admitted:
+        // From a bucket queue: joins a closing batch, is shed
+        // oldest-first under overload, or expires waiting.
+        return to == RequestState::Batched ||
+               to == RequestState::Shed || to == RequestState::TimedOut;
+      case RequestState::Batched:
+        // A formed batch re-checks deadlines before dispatch.
+        return to == RequestState::Running ||
+               to == RequestState::TimedOut;
+      case RequestState::Running:
+        // Completion (in or out of SLO) or an instance death.
+        return to == RequestState::Done ||
+               to == RequestState::TimedOut ||
+               to == RequestState::Retried;
+      case RequestState::Retried:
+        // Backoff elapsed -> re-enter admission; budget/deadline
+        // exhausted -> shed (accounted, never silently lost).
+        return to == RequestState::Queued ||
+               to == RequestState::Shed || to == RequestState::TimedOut;
+      case RequestState::Done:
+      case RequestState::TimedOut:
+      case RequestState::Shed:
+        return false; // terminal
+    }
+    return false;
+}
+
+void
+transition(Request &request, RequestState to, double now)
+{
+    PROSE_ASSERT(transitionAllowed(request.state, to),
+                 "illegal request lifecycle edge ",
+                 toString(request.state), " -> ", toString(to),
+                 " (request ", request.id, " at t=", now, ")");
+    request.state = to;
+    switch (to) {
+      case RequestState::Admitted:
+        request.admittedSeconds = now;
+        break;
+      case RequestState::Batched:
+        request.batchedSeconds = now;
+        break;
+      case RequestState::Running:
+        request.startedSeconds = now;
+        ++request.attempts;
+        break;
+      case RequestState::Done:
+      case RequestState::TimedOut:
+      case RequestState::Shed:
+        request.finishedSeconds = now;
+        break;
+      case RequestState::Queued:
+      case RequestState::Retried:
+        break;
+    }
+}
+
+} // namespace prose

@@ -1,0 +1,419 @@
+#include "serve_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "accel/batcher.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "service_model.hh"
+
+namespace prose {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** One serving instance's scheduling state inside the event loop. */
+struct InstanceState
+{
+    bool dead = false;
+    bool busy = false;
+    double freeAt = 0.0;   ///< completion time while busy
+    double killAt = kInf;  ///< resolved kill time (timed or arrival)
+    ClosedBatch inFlight;
+};
+
+/** Event categories in deterministic same-time processing order. */
+enum class EventKind
+{
+    Kill,       ///< an instance dies (chaos first: work gets dropped)
+    Completion, ///< a busy instance finishes its batch
+    RetryReady, ///< a backed-off request re-enters admission
+    Arrival,    ///< the next open-loop request arrives
+    CloseTimer, ///< a bucket's latest safe close time has come
+    None,
+};
+
+} // namespace
+
+void
+ServeRetrySpec::validate() const
+{
+    if (maxAttempts == 0)
+        fatal("serve retry: max_attempts must be at least 1");
+    if (!(backoffSeconds >= 0.0) || !std::isfinite(backoffSeconds))
+        fatal("serve retry: negative or non-finite backoff");
+    if (!(backoffFactor >= 1.0) || !std::isfinite(backoffFactor))
+        fatal("serve retry: backoff factor must be >= 1");
+    if (!(jitterFraction >= 0.0) || !(jitterFraction <= 1.0))
+        fatal("serve retry: jitter fraction must be in [0, 1]");
+}
+
+double
+ServeRetrySpec::delayFor(std::uint32_t retry, std::uint64_t seed,
+                         RequestId id) const
+{
+    double delay = backoffSeconds;
+    for (std::uint32_t i = 0; i < retry; ++i)
+        delay *= backoffFactor;
+    if (jitterFraction > 0.0) {
+        // Keyed on (seed, id, retry): the draw is independent of event
+        // order, so replays and thread counts cannot perturb it.
+        Rng rng(seed ^
+                (static_cast<std::uint64_t>(id) *
+                     0x9e3779b97f4a7c15ull +
+                 retry));
+        delay *= 1.0 + jitterFraction * rng.uniform();
+    }
+    return delay;
+}
+
+void
+ServeSpec::validate() const
+{
+    arrivals.validate();
+    batcher.validate();
+    admission.validate();
+    retry.validate();
+    if (!(sloSeconds > 0.0) || !std::isfinite(sloSeconds))
+        fatal("serve: SLO must be a positive number of seconds");
+    if (instanceCount == 0)
+        fatal("serve: zero instances");
+    if (!(dispatchOverheadSeconds >= 0.0))
+        fatal("serve: negative dispatch overhead");
+}
+
+std::string
+ServeReport::describe() const
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "serve: offered=" << offered << " done=" << done
+       << " timed_out=" << timedOut << " shed=" << shed
+       << " lost=" << lost() << '\n'
+       << "shed: admission=" << shedAdmission
+       << " overflow=" << shedOverflow
+       << " retry_budget=" << shedRetryBudget << '\n'
+       << "timeout: at_close=" << expiredAtClose
+       << " late=" << completedLate << " on_retry=" << timedOutOnRetry
+       << '\n'
+       << "chaos: retries=" << retries
+       << " instances_killed=" << instancesKilled << '\n'
+       << "batches: count=" << batches << " mean_fill=" << meanBatchFill
+       << " max_queue_depth=" << maxQueueDepthSeen << '\n'
+       << "latency: p50=" << p50Seconds << "s p99=" << p99Seconds
+       << "s p999=" << p999Seconds << "s\n"
+       << "goodput: " << goodputPerSecond
+       << "/s attainment=" << sloAttainment
+       << " horizon=" << horizonSeconds << "s\n";
+    return os.str();
+}
+
+double
+sloRetention(const ServeReport &healthy, const ServeReport &chaos)
+{
+    PROSE_ASSERT(healthy.goodputPerSecond > 0.0,
+                 "SLO retention against a zero-goodput healthy run");
+    return chaos.goodputPerSecond / healthy.goodputPerSecond;
+}
+
+ServeSim::ServeSim(ServeSpec spec) : spec_(std::move(spec))
+{
+    spec_.validate();
+}
+
+ServeReport
+ServeSim::run() const
+{
+    return run(nullptr);
+}
+
+ServeReport
+ServeSim::run(FaultInjector *injector) const
+{
+    ServeReport report;
+    RequestArena arena = generateArrivals(spec_.arrivals, spec_.sloSeconds);
+    report.offered = arena.size();
+
+    const ServiceModel model(spec_.instance, spec_.model,
+                             spec_.dispatchOverheadSeconds);
+    ServeBatcher batcher(spec_.batcher, model);
+
+    std::vector<InstanceState> instances(spec_.instanceCount);
+    if (injector != nullptr) {
+        for (std::uint32_t i = 0; i < spec_.instanceCount; ++i) {
+            double kill_at = injector->instanceKillSeconds(i);
+            const std::uint64_t kill_idx = injector->instanceKillArrival(i);
+            if (kill_idx != FaultInjector::kNoArrivalKill &&
+                kill_idx < arena.size())
+                kill_at = std::min(kill_at,
+                                   arena[kill_idx].arrivalSeconds);
+            instances[i].killAt = kill_at;
+        }
+    }
+
+    // Pending retries ordered by (ready time, request id): a std::set
+    // gives the event loop a deterministic earliest-first view with
+    // O(log n) insert and no heap-order ambiguity on ties.
+    std::set<std::pair<double, RequestId>> retryQueue;
+
+    double now = 0.0;
+    double fill_sum = 0.0;
+    std::size_t next_arrival = 0;
+
+    const auto bucketLen = [&](const Request &request) {
+        return bucketForTokens(request.residues + 2,
+                               spec_.batcher.buckets);
+    };
+
+    // Admission decision for one QUEUED request (fresh arrival or a
+    // retry re-entering the front door).
+    const auto admitOne = [&](RequestId id, double at) {
+        Request &request = arena[id];
+        const double best_case = model.seconds(bucketLen(request), 1);
+        const AdmissionDecision decision =
+            admit(spec_.admission, request, at, batcher.queued(),
+                  best_case);
+        if (decision == AdmissionDecision::ShedSelf) {
+            transition(request, RequestState::Shed, at);
+            ++report.shedAdmission;
+            ++report.shed;
+            return;
+        }
+        if (decision == AdmissionDecision::ShedOldest) {
+            const std::int32_t victim = batcher.shedVictim(arena);
+            PROSE_ASSERT(victim != kNoRequest,
+                         "full queue with no shed victim");
+            const RequestId victim_id = static_cast<RequestId>(victim);
+            batcher.remove(arena, victim_id);
+            transition(arena[victim_id], RequestState::Shed, at);
+            ++report.shedOverflow;
+            ++report.shed;
+        }
+        transition(request, RequestState::Admitted, at);
+        batcher.enqueue(arena, id);
+        report.maxQueueDepthSeen =
+            std::max(report.maxQueueDepthSeen, batcher.queued());
+    };
+
+    // A dying instance drops its in-flight batch member: schedule a
+    // backed-off retry, or account the loss honestly.
+    const auto dropWork = [&](RequestId id, double at) {
+        Request &request = arena[id];
+        transition(request, RequestState::Retried, at);
+        if (request.attempts >= spec_.retry.maxAttempts) {
+            transition(request, RequestState::Shed, at);
+            ++report.shedRetryBudget;
+            ++report.shed;
+            return;
+        }
+        const double delay = spec_.retry.delayFor(
+            request.attempts - 1, spec_.arrivals.seed, id);
+        const double ready_at = at + delay;
+        const double best_case = model.seconds(bucketLen(request), 1);
+        if (ready_at + best_case > request.deadlineSeconds) {
+            transition(request, RequestState::TimedOut, at);
+            ++report.timedOutOnRetry;
+            ++report.timedOut;
+            return;
+        }
+        retryQueue.emplace(ready_at, id);
+        ++report.retries;
+    };
+
+    const auto freeAliveInstance = [&]() -> std::int32_t {
+        for (std::uint32_t i = 0; i < instances.size(); ++i)
+            if (!instances[i].dead && !instances[i].busy)
+                return static_cast<std::int32_t>(i);
+        return -1;
+    };
+
+    // Close and dispatch every batch that should go out at time `at`.
+    // `force` is the end-of-stream flush: no arrivals or retries remain,
+    // so waiting for fuller batches can only cost deadline slack.
+    const auto dispatchReady = [&](double at, bool force) {
+        for (;;) {
+            const std::int32_t slot = freeAliveInstance();
+            if (slot < 0 || batcher.queued() == 0)
+                return;
+            ClosedBatch batch;
+            if (!batcher.close(arena, at, batch, force))
+                return;
+            report.expiredAtClose += batch.expired.size();
+            report.timedOut += batch.expired.size();
+            if (batch.members.empty())
+                continue; // every member expired; nothing to run
+            InstanceState &instance =
+                instances[static_cast<std::size_t>(slot)];
+            for (const RequestId id : batch.members) {
+                transition(arena[id], RequestState::Running, at);
+                arena[id].instance = slot;
+            }
+            instance.busy = true;
+            instance.freeAt = at + batch.serviceSeconds;
+            instance.inFlight = std::move(batch);
+            ++report.batches;
+            fill_sum += static_cast<double>(
+                            instance.inFlight.members.size()) /
+                        static_cast<double>(spec_.batcher.maxBatch);
+        }
+    };
+
+    for (;;) {
+        // Next event: earliest time wins; at equal times the category
+        // order is kills -> completions -> retries -> arrivals -> close
+        // timers, so chaos lands before the work it disrupts and the
+        // loop is bit-identical however the doubles tie.
+        EventKind kind = EventKind::None;
+        double when = kInf;
+        std::int32_t which = -1;
+
+        const auto consider = [&](EventKind k, double t,
+                                  std::int32_t index) {
+            if (t < when) {
+                kind = k;
+                when = t;
+                which = index;
+            }
+        };
+
+        for (std::uint32_t i = 0; i < instances.size(); ++i)
+            if (!instances[i].dead)
+                consider(EventKind::Kill, instances[i].killAt,
+                         static_cast<std::int32_t>(i));
+        for (std::uint32_t i = 0; i < instances.size(); ++i)
+            if (instances[i].busy)
+                consider(EventKind::Completion, instances[i].freeAt,
+                         static_cast<std::int32_t>(i));
+        if (!retryQueue.empty())
+            consider(EventKind::RetryReady, retryQueue.begin()->first,
+                     -1);
+        if (next_arrival < arena.size())
+            consider(EventKind::Arrival,
+                     arena[next_arrival].arrivalSeconds, -1);
+        const bool stream_drained =
+            next_arrival >= arena.size() && retryQueue.empty();
+        if (batcher.queued() > 0 && freeAliveInstance() >= 0) {
+            const double close_at =
+                stream_drained
+                    ? now
+                    : std::max(now, batcher.nextCloseSeconds(arena));
+            consider(EventKind::CloseTimer, close_at, -1);
+        }
+
+        if (kind == EventKind::None) {
+            // No future events. Anything still queued is unreachable
+            // (every instance is dead): account it as timed out at its
+            // deadline rather than losing it.
+            for (Request &request : arena) {
+                if (isTerminal(request.state))
+                    continue;
+                PROSE_ASSERT(request.state == RequestState::Admitted,
+                             "drained a ", toString(request.state),
+                             " request");
+                batcher.remove(arena, request.id);
+                transition(request, RequestState::TimedOut,
+                           std::max(now, request.deadlineSeconds));
+                ++report.timedOut;
+            }
+            break;
+        }
+
+        now = when;
+        switch (kind) {
+          case EventKind::Kill: {
+            InstanceState &instance =
+                instances[static_cast<std::size_t>(which)];
+            instance.dead = true;
+            instance.killAt = kInf;
+            ++report.instancesKilled;
+            if (instance.busy) {
+                instance.busy = false;
+                for (const RequestId id : instance.inFlight.members)
+                    dropWork(id, now);
+                instance.inFlight.members.clear();
+            }
+            break;
+          }
+          case EventKind::Completion: {
+            InstanceState &instance =
+                instances[static_cast<std::size_t>(which)];
+            instance.busy = false;
+            for (const RequestId id : instance.inFlight.members) {
+                Request &request = arena[id];
+                if (now <= request.deadlineSeconds) {
+                    transition(request, RequestState::Done, now);
+                    ++report.done;
+                } else {
+                    transition(request, RequestState::TimedOut, now);
+                    ++report.completedLate;
+                    ++report.timedOut;
+                }
+            }
+            instance.inFlight.members.clear();
+            break;
+          }
+          case EventKind::RetryReady: {
+            const RequestId id = retryQueue.begin()->second;
+            retryQueue.erase(retryQueue.begin());
+            transition(arena[id], RequestState::Queued, now);
+            admitOne(id, now);
+            break;
+          }
+          case EventKind::Arrival: {
+            const RequestId id =
+                static_cast<RequestId>(next_arrival++);
+            admitOne(id, now);
+            break;
+          }
+          case EventKind::CloseTimer:
+            break; // dispatchReady below does the work
+          case EventKind::None:
+            break;
+        }
+        dispatchReady(now, stream_drained);
+    }
+
+    // Final accounting from the arena: conservation, horizon,
+    // latencies in arrival order.
+    std::uint64_t done_check = 0;
+    for (const Request &request : arena) {
+        PROSE_ASSERT(isTerminal(request.state),
+                     "request ", request.id, " ended the run ",
+                     toString(request.state));
+        report.horizonSeconds =
+            std::max(report.horizonSeconds, request.finishedSeconds);
+        if (request.state == RequestState::Done) {
+            ++done_check;
+            report.latencies.push_back(request.latencySeconds());
+        }
+    }
+    PROSE_ASSERT(done_check == report.done && report.lost() == 0,
+                 "request conservation violated: offered ",
+                 report.offered, ", done ", report.done, ", timed out ",
+                 report.timedOut, ", shed ", report.shed);
+
+    if (!report.latencies.empty()) {
+        report.p50Seconds = percentile(report.latencies, 50.0);
+        report.p99Seconds = percentile(report.latencies, 99.0);
+        report.p999Seconds = percentile(report.latencies, 99.9);
+    }
+    if (report.batches > 0)
+        report.meanBatchFill =
+            fill_sum / static_cast<double>(report.batches);
+    if (report.horizonSeconds > 0.0)
+        report.goodputPerSecond = static_cast<double>(report.done) /
+                                  report.horizonSeconds;
+    if (report.offered > 0)
+        report.sloAttainment = static_cast<double>(report.done) /
+                               static_cast<double>(report.offered);
+    return report;
+}
+
+} // namespace prose

@@ -1,0 +1,46 @@
+#include "service_model.hh"
+
+#include "common/logging.hh"
+
+namespace prose {
+
+ServiceModel::ServiceModel(ProseConfig config, BertShape model,
+                           double dispatch_overhead_seconds)
+    : config_(std::move(config)), model_(model),
+      dispatchOverheadSeconds_(dispatch_overhead_seconds)
+{
+    config_.validate();
+    PROSE_ASSERT(dispatchOverheadSeconds_ >= 0.0,
+                 "negative dispatch overhead");
+}
+
+double
+ServiceModel::seconds(std::uint64_t padded_len,
+                      std::uint64_t batch) const
+{
+    PROSE_ASSERT(padded_len > 0 && batch > 0,
+                 "service query for an empty batch");
+    const auto key = std::make_pair(padded_len, batch);
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    BertShape shape = model_;
+    shape.seqLen = padded_len;
+    shape.batch = batch;
+    const double service =
+        PerfSim(config_).run(shape).makespan + dispatchOverheadSeconds_;
+    cache_.emplace(key, service);
+    return service;
+}
+
+double
+ServiceModel::capacityPerSecond(std::uint64_t padded_len,
+                                std::uint64_t batch,
+                                std::uint32_t instances) const
+{
+    PROSE_ASSERT(instances > 0, "capacity of zero instances");
+    return static_cast<double>(batch * instances) /
+           seconds(padded_len, batch);
+}
+
+} // namespace prose

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+
 #include "accel/system.hh"
 #include "common/random.hh"
 #include "systolic/functional_sim.hh"
@@ -211,6 +214,40 @@ TEST(FaultRecovery, InstanceDeathReshardsOntoSurvivors)
     EXPECT_GT(report.inferencesPerSecond(), 0.0);
     // The survivors' recovery wave shows up as extra per-instance runs.
     EXPECT_GT(report.perInstance.size(), healthy.perInstance.size());
+}
+
+TEST(FaultRecovery, ReshardedTailCompletionTimesLandAfterTheDeath)
+{
+    // Regression for the per-inference completion times under a kill:
+    // every inference must get a completion stamp, the last one must be
+    // the (degraded) makespan, and the recovery wave's stamps must all
+    // land at or after the moment of death.
+    const ProseSystem system{ SystemConfig{} };
+    const BertShape shape{ 2, 256, 4, 1024, 16, 64 };
+    const SystemReport healthy = system.run(shape);
+    ASSERT_EQ(healthy.completionSeconds.size(), healthy.inferences);
+
+    const double death = healthy.makespan * 0.3;
+    CampaignSpec spec;
+    spec.instanceKills = { InstanceKill{ 1, death } };
+    FaultInjector injector(spec);
+    const SystemReport report = system.run(shape, &injector);
+
+    ASSERT_EQ(report.completionSeconds.size(), report.inferences);
+    double last = 0.0;
+    std::size_t after_death = 0;
+    for (const double end : report.completionSeconds) {
+        EXPECT_GT(end, 0.0);
+        EXPECT_LE(end, report.makespan);
+        last = std::max(last, end);
+        if (end > death)
+            ++after_death;
+    }
+    EXPECT_DOUBLE_EQ(last, report.makespan);
+    // The resharded work (and only slightly less than a full wave of
+    // it) completes in the degraded tail past the death.
+    EXPECT_GE(after_death, report.reshardedInferences);
+    EXPECT_GT(report.makespan, healthy.makespan);
 }
 
 TEST(FaultRecoveryDeathTest, KillingEveryInstanceIsFatal)

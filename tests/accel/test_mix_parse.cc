@@ -56,6 +56,24 @@ TEST(MixParseDeathTest, MalformedGroupIsFatal)
     EXPECT_EXIT(parseMixSpec(""), testing::ExitedWithCode(1), "empty");
 }
 
+TEST(MixParseDeathTest, ZeroDimensionIsFatal)
+{
+    EXPECT_EXIT(parseMixSpec("M0x2,G16x1,E16x1"),
+                testing::ExitedWithCode(1), "zero array dimension");
+}
+
+TEST(MixParseDeathTest, OverflowingCountIsCleanError)
+{
+    // A digit string past 32 bits must be a fatal() diagnostic, not an
+    // uncaught std::out_of_range from the parser internals.
+    EXPECT_EXIT(parseMixSpec("M64x99999999999999999999"),
+                testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(parseMixSpec("M4294967296x2"),
+                testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(parseLaneSpec("3,99999999999999999999,3"),
+                testing::ExitedWithCode(1), "out of range");
+}
+
 TEST(MixParseDeathTest, DuplicateTypeIsFatal)
 {
     EXPECT_EXIT(parseMixSpec("M64x1,M64x1,G16x1,E16x1"),

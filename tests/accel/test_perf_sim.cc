@@ -26,6 +26,25 @@ TEST(PerfSim, ProducesPositiveMakespan)
     EXPECT_EQ(report.inferences, 8u);
 }
 
+TEST(PerfSim, PerInferenceEndTimesCoverTheBatch)
+{
+    PerfSim sim(ProseConfig::bestPerf());
+    const SimReport report = sim.run(smallShape(7));
+    ASSERT_EQ(report.inferenceEndSeconds.size(), report.inferences);
+    ASSERT_FALSE(report.threadFinishSeconds.empty());
+    const double slowest = *std::max_element(
+        report.threadFinishSeconds.begin(),
+        report.threadFinishSeconds.end());
+    EXPECT_DOUBLE_EQ(slowest, report.makespan);
+    double last = 0.0;
+    for (const double end : report.inferenceEndSeconds) {
+        EXPECT_GT(end, 0.0);
+        EXPECT_LE(end, report.makespan);
+        last = std::max(last, end);
+    }
+    EXPECT_DOUBLE_EQ(last, report.makespan);
+}
+
 TEST(PerfSim, DeterministicAcrossRuns)
 {
     PerfSim sim(ProseConfig::bestPerf());

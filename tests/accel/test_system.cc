@@ -52,6 +52,20 @@ TEST(ProseSystem, MakespanIsSlowestInstance)
     EXPECT_DOUBLE_EQ(report.makespan, slowest);
 }
 
+TEST(ProseSystem, CompletionTimesCoverTheBatchAndEndAtMakespan)
+{
+    const ProseSystem system;
+    const SystemReport report = system.run(workload(34));
+    ASSERT_EQ(report.completionSeconds.size(), report.inferences);
+    double last = 0.0;
+    for (const double end : report.completionSeconds) {
+        EXPECT_GT(end, 0.0);
+        EXPECT_LE(end, report.makespan);
+        last = std::max(last, end);
+    }
+    EXPECT_DOUBLE_EQ(last, report.makespan);
+}
+
 TEST(ProseSystem, FourInstancesBeatOne)
 {
     SystemConfig one;

@@ -50,6 +50,31 @@ TEST(CampaignSpec, ParsesEveryToken)
     EXPECT_DOUBLE_EQ(spec.instanceKills[0].atSeconds, 5e-3);
 }
 
+TEST(CampaignSpec, ParsesArrivalIndexedInstanceKill)
+{
+    const CampaignSpec spec =
+        CampaignSpec::parse("kill_instance=1@#500");
+    ASSERT_EQ(spec.instanceKills.size(), 1u);
+    EXPECT_EQ(spec.instanceKills[0].instance, 1u);
+    EXPECT_EQ(spec.instanceKills[0].atArrival, 500);
+    EXPECT_LT(spec.instanceKills[0].atSeconds, 0.0);
+    spec.validate(); // arrival-indexed form is complete on its own
+    EXPECT_NE(spec.describe().find("kill_instance=1@#500"),
+              std::string::npos);
+}
+
+TEST(CampaignSpec, ArrivalIndexedKillDescribeRoundTrips)
+{
+    const CampaignSpec spec = CampaignSpec::parse(
+        "seed=3 kill_instance=0@#42 kill_instance=2@0.01");
+    const std::string canonical = spec.describe();
+    const CampaignSpec reparsed = CampaignSpec::parse(canonical);
+    EXPECT_EQ(reparsed.describe(), canonical);
+    ASSERT_EQ(reparsed.instanceKills.size(), 2u);
+    EXPECT_EQ(reparsed.instanceKills[0].atArrival, 42);
+    EXPECT_DOUBLE_EQ(reparsed.instanceKills[1].atSeconds, 0.01);
+}
+
 TEST(CampaignSpec, DescribeRoundTrips)
 {
     const CampaignSpec spec = CampaignSpec::parse(
@@ -103,6 +128,24 @@ TEST(CampaignSpecDeathTest, ValidateRejectsBadRatesAndWindows)
     CampaignSpec kill;
     kill.arrayKills.push_back(ArrayKill{ 'X', 0, 1e-3 });
     EXPECT_EXIT(kill.validate(), testing::ExitedWithCode(1), "type");
+}
+
+TEST(CampaignSpecDeathTest, InstanceKillNeedsExactlyOneTrigger)
+{
+    EXPECT_EXIT(CampaignSpec::parse("kill_instance=1"),
+                testing::ExitedWithCode(1), "suffix");
+
+    CampaignSpec neither;
+    neither.instanceKills.push_back(InstanceKill{ 0, -1.0 });
+    EXPECT_EXIT(neither.validate(), testing::ExitedWithCode(1),
+                "exactly one of");
+
+    CampaignSpec both;
+    InstanceKill kill{ 0, 1e-3 };
+    kill.atArrival = 10;
+    both.instanceKills.push_back(kill);
+    EXPECT_EXIT(both.validate(), testing::ExitedWithCode(1),
+                "exactly one of");
 }
 
 TEST(FaultEvent, DescribeNamesKindSiteAndCell)

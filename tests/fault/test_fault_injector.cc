@@ -179,6 +179,40 @@ TEST(FaultInjector, KillScheduleIsTimeDependent)
     EXPECT_EQ(injector.events().size(), 4u);
 }
 
+TEST(FaultInjector, ArrivalIndexedKillsAreSeparateFromTimedOnes)
+{
+    CampaignSpec spec = CampaignSpec::parse(
+        "kill_instance=1@#500 kill_instance=2@5e-3");
+    FaultInjector injector(spec);
+    // Arrival-indexed kills are invisible to the timed query (a
+    // closed-loop simulator must not fire them)...
+    EXPECT_TRUE(std::isinf(injector.instanceKillSeconds(1)));
+    EXPECT_DOUBLE_EQ(injector.instanceKillSeconds(2), 5e-3);
+    // ...and vice versa: the arrival query only sees indexed kills.
+    EXPECT_EQ(injector.instanceKillArrival(1), 500u);
+    EXPECT_EQ(injector.instanceKillArrival(2),
+              FaultInjector::kNoArrivalKill);
+    EXPECT_EQ(injector.instanceKillArrival(0),
+              FaultInjector::kNoArrivalKill);
+    // Both scheduled kills are logged up front with addressable sites.
+    ASSERT_EQ(injector.events().size(), 2u);
+    bool saw_indexed = false;
+    for (const FaultEvent &event : injector.events()) {
+        EXPECT_EQ(event.kind, FaultKind::InstanceKill);
+        saw_indexed =
+            saw_indexed || event.site.find('#') != std::string::npos;
+    }
+    EXPECT_TRUE(saw_indexed);
+}
+
+TEST(FaultInjector, EarliestArrivalKillWins)
+{
+    CampaignSpec spec = CampaignSpec::parse(
+        "kill_instance=0@#900 kill_instance=0@#40");
+    FaultInjector injector(spec);
+    EXPECT_EQ(injector.instanceKillArrival(0), 40u);
+}
+
 TEST(FaultInjector, ReplayIsBitIdentical)
 {
     CampaignSpec spec = CampaignSpec::parse(

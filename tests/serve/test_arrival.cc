@@ -1,0 +1,206 @@
+/** @file Tests for arrival generation and the hardened trace loader. */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "serve/arrival.hh"
+
+namespace prose {
+namespace {
+
+ArrivalSpec
+poisson(std::uint64_t count = 2000, double rate = 1000.0)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Poisson;
+    spec.seed = 42;
+    spec.ratePerSecond = rate;
+    spec.count = count;
+    return spec;
+}
+
+TEST(Arrivals, PoissonStreamShape)
+{
+    const auto requests = generateArrivals(poisson(), 0.05);
+    ASSERT_EQ(requests.size(), 2000u);
+    double prev = -1.0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(requests[i].id, i);
+        EXPECT_GT(requests[i].arrivalSeconds, prev);
+        EXPECT_EQ(requests[i].state, RequestState::Queued);
+        EXPECT_DOUBLE_EQ(requests[i].deadlineSeconds,
+                         requests[i].arrivalSeconds + 0.05);
+        prev = requests[i].arrivalSeconds;
+    }
+    // 2000 arrivals at 1000/s should take about 2 seconds.
+    EXPECT_NEAR(requests.back().arrivalSeconds, 2.0, 0.4);
+}
+
+TEST(Arrivals, SameSeedIsBitIdentical)
+{
+    const auto a = generateArrivals(poisson(), 0.05);
+    const auto b = generateArrivals(poisson(), 0.05);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+        EXPECT_EQ(a[i].residues, b[i].residues);
+    }
+    ArrivalSpec other = poisson();
+    other.seed = 43;
+    const auto c = generateArrivals(other, 0.05);
+    EXPECT_NE(a[10].arrivalSeconds, c[10].arrivalSeconds);
+}
+
+TEST(Arrivals, LengthsStayInBounds)
+{
+    ArrivalSpec spec = poisson(500);
+    spec.minResidues = 60;
+    spec.maxResidues = 300;
+    bool saw_spread = false;
+    const auto requests = generateArrivals(spec, 0.05);
+    for (const Request &request : requests) {
+        EXPECT_GE(request.residues, 60u);
+        EXPECT_LE(request.residues, 300u);
+        if (request.residues != requests.front().residues)
+            saw_spread = true;
+    }
+    EXPECT_TRUE(saw_spread);
+}
+
+TEST(Arrivals, BurstyKeepsLongRunMeanRate)
+{
+    ArrivalSpec spec = poisson(20000);
+    spec.kind = ArrivalKind::Bursty;
+    const auto requests = generateArrivals(spec, 0.05);
+    const double span = requests.back().arrivalSeconds;
+    const double mean_rate = static_cast<double>(requests.size()) / span;
+    // The burst multiplier reshapes the process but the thinning
+    // normalization keeps the long-run mean at ratePerSecond.
+    EXPECT_NEAR(mean_rate, 1000.0, 60.0);
+}
+
+TEST(Arrivals, DiurnalModulatesDensity)
+{
+    ArrivalSpec spec = poisson(20000);
+    spec.kind = ArrivalKind::Diurnal;
+    spec.diurnalPeriodSeconds = 10.0;
+    spec.diurnalAmplitude = 0.8;
+    const auto requests = generateArrivals(spec, 0.05);
+    // First half-period (rising sine) must be denser than the second.
+    std::uint64_t first = 0, second = 0;
+    for (const Request &request : requests) {
+        const double phase = std::fmod(request.arrivalSeconds, 10.0);
+        (phase < 5.0 ? first : second) += 1;
+    }
+    EXPECT_GT(static_cast<double>(first),
+              1.5 * static_cast<double>(second));
+}
+
+TEST(Arrivals, TraceKindHonorsRecords)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Trace;
+    spec.trace = {
+        TraceArrival{ 0.0, 100, 0, 0.0 },
+        TraceArrival{ 0.5, 200, 2, 0.25 },
+    };
+    const auto requests = generateArrivals(spec, 0.05);
+    ASSERT_EQ(requests.size(), 2u);
+    EXPECT_DOUBLE_EQ(requests[0].deadlineSeconds, 0.05);
+    EXPECT_EQ(requests[1].priority, 2u);
+    EXPECT_DOUBLE_EQ(requests[1].deadlineSeconds, 0.75);
+}
+
+TEST(ArrivalsDeathTest, SpecValidation)
+{
+    ArrivalSpec negative = poisson();
+    negative.ratePerSecond = -5.0;
+    EXPECT_EXIT(negative.validate(), testing::ExitedWithCode(1),
+                "rate must be a positive");
+    ArrivalSpec nan_rate = poisson();
+    nan_rate.ratePerSecond = std::nan("");
+    EXPECT_EXIT(nan_rate.validate(), testing::ExitedWithCode(1),
+                "rate must be a positive");
+    ArrivalSpec none = poisson(0);
+    EXPECT_EXIT(none.validate(), testing::ExitedWithCode(1),
+                "zero requests");
+    ArrivalSpec zero_len = poisson();
+    zero_len.minResidues = 0;
+    EXPECT_EXIT(zero_len.validate(), testing::ExitedWithCode(1),
+                "zero-length");
+    ArrivalSpec inverted = poisson();
+    inverted.minResidues = 100;
+    inverted.maxResidues = 50;
+    EXPECT_EXIT(inverted.validate(), testing::ExitedWithCode(1),
+                "bounds inverted");
+    ArrivalSpec burst = poisson();
+    burst.kind = ArrivalKind::Bursty;
+    burst.burstFraction = 1.5;
+    EXPECT_EXIT(burst.validate(), testing::ExitedWithCode(1),
+                "burst fraction");
+    ArrivalSpec empty_trace;
+    empty_trace.kind = ArrivalKind::Trace;
+    EXPECT_EXIT(empty_trace.validate(), testing::ExitedWithCode(1),
+                "empty trace");
+}
+
+std::vector<TraceArrival>
+parseText(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseArrivalTrace(in, "<test>");
+}
+
+TEST(ArrivalTrace, ParsesRecordsAndComments)
+{
+    const auto trace = parseText("# replayed drill\n"
+                                 "at=0.0 len=126\n"
+                                 "\n"
+                                 "at=0.25 len=300 prio=2 slo=0.1\n");
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_DOUBLE_EQ(trace[0].atSeconds, 0.0);
+    EXPECT_EQ(trace[0].residues, 126u);
+    EXPECT_EQ(trace[1].priority, 2u);
+    EXPECT_DOUBLE_EQ(trace[1].sloSeconds, 0.1);
+}
+
+TEST(ArrivalTraceDeathTest, MalformedInputIsLineNumbered)
+{
+    EXPECT_EXIT(parseText("at=0 len=126\nat=-1 len=5\n"),
+                testing::ExitedWithCode(1),
+                "<test>:2: negative arrival time");
+    EXPECT_EXIT(parseText("at=0 len=0\n"), testing::ExitedWithCode(1),
+                "<test>:1: zero-length request");
+    EXPECT_EXIT(parseText("at=0 len=126\nat=0 len=126\n"),
+                testing::ExitedWithCode(1),
+                "duplicate arrival timestamp");
+    EXPECT_EXIT(parseText("at=1 len=126\nat=0.5 len=126\n"),
+                testing::ExitedWithCode(1), "non-decreasing");
+    EXPECT_EXIT(parseText("at=0 len=126 color=red\n"),
+                testing::ExitedWithCode(1), "unknown key");
+    EXPECT_EXIT(parseText("at=0\n"), testing::ExitedWithCode(1),
+                "both at= and len=");
+    EXPECT_EXIT(parseText("at=zero len=126\n"),
+                testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT(parseText("at=0 len=-4\n"), testing::ExitedWithCode(1),
+                "bad non-negative integer");
+    EXPECT_EXIT(parseText("at=0 len=99999999999999999999999\n"),
+                testing::ExitedWithCode(1), "overflows");
+    EXPECT_EXIT(parseText("at=0 len=126 slo=0\n"),
+                testing::ExitedWithCode(1), "slo must be positive");
+    EXPECT_EXIT(parseText("garbage\n"), testing::ExitedWithCode(1),
+                "token without '='");
+    EXPECT_EXIT(parseText("# only a comment\n"),
+                testing::ExitedWithCode(1), "empty arrival trace");
+}
+
+TEST(ArrivalTraceDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadArrivalTrace("/nonexistent/trace.txt"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace prose

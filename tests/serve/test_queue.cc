@@ -1,0 +1,144 @@
+/** @file Tests for the intrusive request FIFO / priority queues. */
+
+#include <gtest/gtest.h>
+
+#include "serve/queue.hh"
+
+namespace prose {
+namespace {
+
+RequestArena
+arenaOf(std::size_t n)
+{
+    RequestArena arena(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        arena[i].id = static_cast<RequestId>(i);
+        arena[i].arrivalSeconds = static_cast<double>(i);
+    }
+    return arena;
+}
+
+TEST(RequestFifo, FifoOrder)
+{
+    RequestArena arena = arenaOf(3);
+    RequestFifo fifo;
+    EXPECT_TRUE(fifo.empty());
+    fifo.pushBack(arena, 0);
+    fifo.pushBack(arena, 1);
+    fifo.pushBack(arena, 2);
+    EXPECT_EQ(fifo.size(), 3u);
+    EXPECT_EQ(fifo.front(), 0);
+    EXPECT_EQ(fifo.popFront(arena), 0u);
+    EXPECT_EQ(fifo.popFront(arena), 1u);
+    EXPECT_EQ(fifo.popFront(arena), 2u);
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(RequestFifo, RemoveFromMiddleAndEnds)
+{
+    RequestArena arena = arenaOf(4);
+    RequestFifo fifo;
+    for (RequestId id = 0; id < 4; ++id)
+        fifo.pushBack(arena, id);
+    fifo.remove(arena, 1); // middle
+    fifo.remove(arena, 3); // tail
+    EXPECT_EQ(fifo.size(), 2u);
+    EXPECT_EQ(fifo.popFront(arena), 0u);
+    EXPECT_EQ(fifo.popFront(arena), 2u);
+    // Removed requests are fully unlinked and can be re-queued.
+    fifo.pushBack(arena, 1);
+    EXPECT_EQ(fifo.front(), 1);
+}
+
+TEST(RequestFifo, ReuseAfterPop)
+{
+    RequestArena arena = arenaOf(2);
+    RequestFifo fifo;
+    fifo.pushBack(arena, 0);
+    EXPECT_EQ(fifo.popFront(arena), 0u);
+    fifo.pushBack(arena, 0); // a popped request can come back
+    EXPECT_EQ(fifo.size(), 1u);
+}
+
+TEST(RequestFifoDeathTest, DoubleEnqueuePanics)
+{
+    RequestArena arena = arenaOf(2);
+    RequestFifo fifo;
+    fifo.pushBack(arena, 0);
+    EXPECT_DEATH(fifo.pushBack(arena, 0), "already queued");
+}
+
+TEST(RequestFifoDeathTest, PopEmptyPanics)
+{
+    RequestArena arena = arenaOf(1);
+    RequestFifo fifo;
+    EXPECT_DEATH(fifo.popFront(arena), "empty queue");
+}
+
+TEST(RequestFifoDeathTest, RemoveUnlinkedPanics)
+{
+    RequestArena arena = arenaOf(2);
+    RequestFifo fifo;
+    fifo.pushBack(arena, 0);
+    EXPECT_DEATH(fifo.remove(arena, 1), "not in this queue");
+}
+
+TEST(PriorityRequestQueue, HighestBandPopsFirst)
+{
+    RequestArena arena = arenaOf(4);
+    arena[0].priority = 0;
+    arena[1].priority = 2;
+    arena[2].priority = 1;
+    arena[3].priority = 2;
+    PriorityRequestQueue queue;
+    for (RequestId id = 0; id < 4; ++id)
+        queue.push(arena, id);
+    EXPECT_EQ(queue.size(), 4u);
+    EXPECT_EQ(queue.front(), 1);
+    EXPECT_EQ(queue.pop(arena), 1u); // band 2, oldest
+    EXPECT_EQ(queue.pop(arena), 3u); // band 2, next
+    EXPECT_EQ(queue.pop(arena), 2u); // band 1
+    EXPECT_EQ(queue.pop(arena), 0u); // band 0
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(PriorityRequestQueue, ShedVictimIsOldestOfLowestBand)
+{
+    RequestArena arena = arenaOf(4);
+    arena[0].priority = 3;
+    arena[1].priority = 1;
+    arena[2].priority = 1;
+    arena[3].priority = 0;
+    PriorityRequestQueue queue;
+    for (RequestId id = 0; id < 3; ++id)
+        queue.push(arena, id);
+    // Lowest band present is 1; its oldest member is request 1.
+    EXPECT_EQ(queue.shedVictim(), 1);
+    queue.push(arena, 3); // band 0 now populated
+    EXPECT_EQ(queue.shedVictim(), 3);
+    queue.remove(arena, 3);
+    EXPECT_EQ(queue.shedVictim(), 1);
+}
+
+TEST(PriorityRequestQueue, HighPrioritiesClampToTopBand)
+{
+    RequestArena arena = arenaOf(2);
+    arena[0].priority = PriorityRequestQueue::kBands - 1;
+    arena[1].priority = 99; // clamps to the top band
+    PriorityRequestQueue queue;
+    queue.push(arena, 0);
+    queue.push(arena, 1);
+    // Same band: FIFO within it.
+    EXPECT_EQ(queue.pop(arena), 0u);
+    EXPECT_EQ(queue.pop(arena), 1u);
+}
+
+TEST(PriorityRequestQueueDeathTest, PopEmptyPanics)
+{
+    RequestArena arena = arenaOf(1);
+    PriorityRequestQueue queue;
+    EXPECT_DEATH(queue.pop(arena), "empty priority queue");
+}
+
+} // namespace
+} // namespace prose

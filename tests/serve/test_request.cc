@@ -1,0 +1,113 @@
+/** @file Tests for the per-request lifecycle state machine. */
+
+#include <gtest/gtest.h>
+
+#include "serve/request.hh"
+
+namespace prose {
+namespace {
+
+TEST(RequestLifecycle, HappyPathTimestamps)
+{
+    Request request;
+    request.id = 7;
+    request.arrivalSeconds = 1.0;
+    transition(request, RequestState::Admitted, 1.5);
+    transition(request, RequestState::Batched, 2.0);
+    transition(request, RequestState::Running, 2.5);
+    transition(request, RequestState::Done, 3.25);
+    EXPECT_EQ(request.state, RequestState::Done);
+    EXPECT_DOUBLE_EQ(request.admittedSeconds, 1.5);
+    EXPECT_DOUBLE_EQ(request.batchedSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(request.startedSeconds, 2.5);
+    EXPECT_DOUBLE_EQ(request.finishedSeconds, 3.25);
+    EXPECT_EQ(request.attempts, 1u);
+    EXPECT_DOUBLE_EQ(request.latencySeconds(), 2.25);
+}
+
+TEST(RequestLifecycle, RetryLoopCountsAttempts)
+{
+    Request request;
+    transition(request, RequestState::Admitted, 0.0);
+    transition(request, RequestState::Batched, 0.0);
+    transition(request, RequestState::Running, 0.0);
+    transition(request, RequestState::Retried, 1.0);
+    transition(request, RequestState::Queued, 2.0);
+    transition(request, RequestState::Admitted, 2.0);
+    transition(request, RequestState::Batched, 2.5);
+    transition(request, RequestState::Running, 2.5);
+    transition(request, RequestState::Done, 3.0);
+    EXPECT_EQ(request.attempts, 2u);
+}
+
+TEST(RequestLifecycle, LegalityTable)
+{
+    // The full edge set of the lifecycle diagram.
+    const auto ok = [](RequestState a, RequestState b) {
+        return transitionAllowed(a, b);
+    };
+    EXPECT_TRUE(ok(RequestState::Queued, RequestState::Admitted));
+    EXPECT_TRUE(ok(RequestState::Queued, RequestState::Shed));
+    EXPECT_TRUE(ok(RequestState::Queued, RequestState::TimedOut));
+    EXPECT_TRUE(ok(RequestState::Admitted, RequestState::Batched));
+    EXPECT_TRUE(ok(RequestState::Admitted, RequestState::Shed));
+    EXPECT_TRUE(ok(RequestState::Admitted, RequestState::TimedOut));
+    EXPECT_TRUE(ok(RequestState::Batched, RequestState::Running));
+    EXPECT_TRUE(ok(RequestState::Batched, RequestState::TimedOut));
+    EXPECT_TRUE(ok(RequestState::Running, RequestState::Done));
+    EXPECT_TRUE(ok(RequestState::Running, RequestState::TimedOut));
+    EXPECT_TRUE(ok(RequestState::Running, RequestState::Retried));
+    EXPECT_TRUE(ok(RequestState::Retried, RequestState::Queued));
+    EXPECT_TRUE(ok(RequestState::Retried, RequestState::Shed));
+    EXPECT_TRUE(ok(RequestState::Retried, RequestState::TimedOut));
+
+    // A few of the edges that must NOT exist.
+    EXPECT_FALSE(ok(RequestState::Queued, RequestState::Running));
+    EXPECT_FALSE(ok(RequestState::Queued, RequestState::Batched));
+    EXPECT_FALSE(ok(RequestState::Admitted, RequestState::Running));
+    EXPECT_FALSE(ok(RequestState::Batched, RequestState::Shed));
+    EXPECT_FALSE(ok(RequestState::Running, RequestState::Shed));
+    EXPECT_FALSE(ok(RequestState::Retried, RequestState::Running));
+}
+
+TEST(RequestLifecycle, TerminalStatesHaveNoExits)
+{
+    const RequestState terminals[] = { RequestState::Done,
+                                       RequestState::TimedOut,
+                                       RequestState::Shed };
+    const RequestState all[] = {
+        RequestState::Queued,   RequestState::Admitted,
+        RequestState::Batched,  RequestState::Running,
+        RequestState::Done,     RequestState::TimedOut,
+        RequestState::Shed,     RequestState::Retried,
+    };
+    for (const RequestState from : terminals) {
+        EXPECT_TRUE(isTerminal(from));
+        for (const RequestState to : all)
+            EXPECT_FALSE(transitionAllowed(from, to));
+    }
+    EXPECT_FALSE(isTerminal(RequestState::Queued));
+    EXPECT_FALSE(isTerminal(RequestState::Running));
+    EXPECT_FALSE(isTerminal(RequestState::Retried));
+}
+
+TEST(RequestLifecycle, StateNames)
+{
+    EXPECT_STREQ(toString(RequestState::Queued), "QUEUED");
+    EXPECT_STREQ(toString(RequestState::TimedOut), "TIMED_OUT");
+    EXPECT_STREQ(toString(RequestState::Retried), "RETRIED");
+}
+
+TEST(RequestLifecycleDeathTest, IllegalEdgePanics)
+{
+    Request request;
+    EXPECT_DEATH(transition(request, RequestState::Running, 0.0),
+                 "illegal request lifecycle edge");
+    Request done;
+    transition(done, RequestState::Shed, 0.0);
+    EXPECT_DEATH(transition(done, RequestState::Admitted, 1.0),
+                 "illegal request lifecycle edge");
+}
+
+} // namespace
+} // namespace prose
