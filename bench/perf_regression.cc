@@ -11,8 +11,11 @@
  *
  * Usage: perf_regression [--quick] [--repeats N] [--out PATH]
  *   --quick    small shapes, few repeats (the CI smoke configuration)
- *   --repeats  pooled-measurement repeats (default 5; serial baselines
- *              of large shapes run fewer to bound wall-clock)
+ *   --repeats  maximum repeats per bench (default 5). Sampling is
+ *              time-budgeted: every bench gets at least three samples
+ *              (so medians and p10/p90 are never a single measurement),
+ *              and fast benches keep sampling up to the maximum until
+ *              the per-bench wall-clock budget is spent.
  *   --out      output JSON path (default BENCH_perf.json in the CWD)
  */
 
@@ -54,27 +57,42 @@ struct BenchResult
     std::size_t repeats = 0;
 };
 
-/** Run fn `repeats` times and fold the wall-clock samples into a row. */
+/** Floor on samples per bench: percentiles from fewer are noise. */
+constexpr std::size_t kMinRepeats = 3;
+/** Per-bench sampling budget; slow benches stop at the floor. */
+constexpr double kBenchBudgetMs = 2500.0;
+
+/**
+ * Time-budgeted sampling: run fn until the sample floor (kMinRepeats)
+ * is met, then keep sampling until either `max_repeats` samples exist
+ * or the wall-clock budget is spent. Replaces the old fixed
+ * "big shapes run once" reductions, which recorded repeats: 1 entries
+ * whose medians were single unstable measurements.
+ */
 template <typename Fn>
 BenchResult
-timeBench(const std::string &name, std::size_t repeats, Fn &&fn)
+timeBench(const std::string &name, std::size_t max_repeats, Fn &&fn)
 {
     std::vector<double> samples;
-    samples.reserve(repeats);
-    for (std::size_t r = 0; r < repeats; ++r) {
+    samples.reserve(std::max(max_repeats, kMinRepeats));
+    double total_ms = 0.0;
+    while (samples.size() < kMinRepeats ||
+           (samples.size() < max_repeats && total_ms < kBenchBudgetMs)) {
         const auto start = std::chrono::steady_clock::now();
         fn();
         const auto stop = std::chrono::steady_clock::now();
-        samples.push_back(
+        const double ms =
             std::chrono::duration<double, std::milli>(stop - start)
-                .count());
+                .count();
+        samples.push_back(ms);
+        total_ms += ms;
     }
     BenchResult result;
     result.name = name;
     result.medianMs = percentile(samples, 50.0);
     result.p10Ms = percentile(samples, 10.0);
     result.p90Ms = percentile(samples, 90.0);
-    result.repeats = repeats;
+    result.repeats = samples.size();
     return result;
 }
 
@@ -232,12 +250,8 @@ main(int argc, char **argv)
         const Matrix b = randomMatrix(rng, kWidth, kWidth);
         const std::string tag = "len" + std::to_string(shape.seqLen) +
                                 "_b" + std::to_string(shape.batch);
-        // Serial baselines of the biggest shape run once to bound
-        // harness wall-clock; medians of 1 sample are still recorded.
-        const std::size_t serial_repeats =
-            m >= 4096 ? 1 : std::max<std::size_t>(1, repeats / 2 + 1);
         results.push_back(timeBench(
-            "matmul_fp32_serial_" + tag, serial_repeats, [&] {
+            "matmul_fp32_serial_" + tag, repeats, [&] {
                 ThreadPool::SerialGuard serial;
                 volatile float sink = matmul(a, b)(0, 0);
                 (void)sink;
@@ -247,6 +261,41 @@ main(int argc, char **argv)
                 volatile float sink = matmul(a, b)(0, 0);
                 (void)sink;
             }));
+    }
+
+    // --- Pool crossover: where dispatch starts to pay -----------------
+    {
+        // matmul() keeps shapes below kMinMacsPerLane MACs per lane
+        // inline (the len128_b1 pooled regression was pure dispatch
+        // overhead); these n^3 cubes straddle that threshold so the
+        // recorded serial-vs-pooled medians document the crossover. A
+        // fixed 4-lane override pool keeps the per-lane floor — and so
+        // the set of shapes that actually dispatch — independent of the
+        // host core count.
+        std::vector<std::size_t> cutoff_ns = { 96, 128 };
+        if (!quick) {
+            cutoff_ns.push_back(192);
+            cutoff_ns.push_back(256);
+        }
+        ThreadPool cutoff_pool(4);
+        for (const std::size_t n : cutoff_ns) {
+            const Matrix a = randomMatrix(rng, n, n);
+            const Matrix b = randomMatrix(rng, n, n);
+            const std::string tag = "_n" + std::to_string(n);
+            results.push_back(
+                timeBench("matmul_cutoff_serial" + tag, repeats, [&] {
+                    ThreadPool::SerialGuard serial;
+                    volatile float sink = matmul(a, b)(0, 0);
+                    (void)sink;
+                }));
+            ThreadPool::setGlobalOverride(&cutoff_pool);
+            results.push_back(
+                timeBench("matmul_cutoff_pooled" + tag, repeats, [&] {
+                    volatile float sink = matmul(a, b)(0, 0);
+                    (void)sink;
+                }));
+            ThreadPool::setGlobalOverride(nullptr);
+        }
     }
 
     // --- bf16 path: per-call quantization vs cached weights -----------
@@ -289,12 +338,8 @@ main(int argc, char **argv)
         const std::string protein = randomProtein(rng, shape.seqLen - 2);
         const std::string tag = "len" + std::to_string(shape.seqLen) +
                                 "_b" + std::to_string(shape.batch);
-        const std::size_t serial_repeats =
-            shape.seqLen * shape.batch >= 1024
-                ? 1
-                : std::max<std::size_t>(1, repeats / 2 + 1);
         results.push_back(
-            timeBench("forward_chain_serial_" + tag, serial_repeats, [&] {
+            timeBench("forward_chain_serial_" + tag, repeats, [&] {
                 ThreadPool::SerialGuard serial;
                 volatile double sink = endToEndChain(
                     model, tokenizer, protein, shape.batch, shape.seqLen);
@@ -321,8 +366,6 @@ main(int argc, char **argv)
         std::vector<LayerShape> layers = { { 64, 64, 4, 128, 2 } };
         if (!quick)
             layers.push_back({ 128, 768, 12, 3072, 1 });
-        const std::size_t stepped_repeats =
-            quick ? 1 : std::max<std::size_t>(1, repeats / 2 + 1);
         for (const LayerShape &shape : layers) {
             const LayerInputs layer(rng, shape.seq, shape.hidden,
                                     shape.heads, shape.inter, shape.batch);
@@ -335,12 +378,11 @@ main(int argc, char **argv)
                     (void)sink;
                 }));
             results.push_back(
-                timeBench("fsim_bert_layer_stepped" + tag,
-                          stepped_repeats, [&] {
-                              volatile double sink =
-                                  fsimBertLayer(FsimMode::Stepped, layer);
-                              (void)sink;
-                          }));
+                timeBench("fsim_bert_layer_stepped" + tag, repeats, [&] {
+                    volatile double sink =
+                        fsimBertLayer(FsimMode::Stepped, layer);
+                    (void)sink;
+                }));
             const double fast_ms = results[results.size() - 2].medianMs;
             const double stepped_ms = results.back().medianMs;
             fsim_layer_speedup = stepped_ms / fast_ms;

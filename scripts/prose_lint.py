@@ -19,9 +19,17 @@ mechanically enforces them:
                   non-deterministic across libstdc++ versions and
                   seeds. Use std::map / sorted vectors.
   naked-getenv    getenv only inside the designated config shims
-                  (src/systolic/fsim_mode.cc, src/common/thread_pool.cc).
+                  (src/systolic/fsim_mode.cc, src/common/thread_pool.cc,
+                  src/numerics/kernels/kernel_dispatch.cc).
                   Scattered env probes make runs irreproducible because
-                  nothing records which knobs were read.
+                  nothing records which knobs are read.
+  intrinsics      x86 SIMD intrinsics (immintrin/x86intrin includes,
+                  _mm*/__m128/__m256/__m512 tokens) only inside
+                  src/numerics/kernels/ — every vector loop must live
+                  behind the runtime-dispatched KernelSet so the
+                  bit-exactness contract is tested tier-against-scalar
+                  in exactly one place and PROSE_SIMD=scalar really
+                  disables all of it.
   no-cout         no std::cout / printf-family in src/ — all libraries
                   report through emitLog (inform/warn/fatal/panic),
                   which is the only writer that holds the log mutex, so
@@ -64,7 +72,11 @@ FLOAT_EQ_HELPERS = {
 GETENV_SHIMS = {
     "src/systolic/fsim_mode.cc",
     "src/common/thread_pool.cc",
+    "src/numerics/kernels/kernel_dispatch.cc",
 }
+
+# The only directory where x86 SIMD intrinsics may appear.
+INTRINSICS_DIR = "src/numerics/kernels"
 
 # The one header that may include <iostream> (it IS the logging shim).
 IOSTREAM_HEADER_ALLOWED = {"src/common/logging.hh"}
@@ -90,6 +102,12 @@ UNORDERED_ITER_RE = re.compile(
 
 GETENV_RE = re.compile(r"\bgetenv\s*\(")
 COUT_RE = re.compile(r"\bstd::cout\b|\bprintf\s*\(|\bfprintf\s*\(\s*stdout\b")
+
+INTRINSICS_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|emmintrin|xmmintrin|smmintrin"
+    r"|avxintrin|avx2intrin|avx512\w*intrin)\.h>"
+    r"|\b_mm(?:256|512)?_\w+\s*\(|\b__m(?:128|256|512)[id]?\b|\b__mmask\d+\b"
+)
 
 GUARD_IFNDEF_RE = re.compile(r"^\s*#ifndef\s+(\w+)")
 GUARD_DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)\s*$")
@@ -232,6 +250,16 @@ def lint_file(relpath, lines):
                     "inform()/warn() (serialized emitLog) or take an "
                     "std::ostream&"))
 
+        if (in_src and not relpath.startswith(INTRINSICS_DIR + "/")
+                and "intrinsics" not in allow):
+            if INTRINSICS_RE.search(code):
+                findings.append(Finding(
+                    "intrinsics", relpath, idx,
+                    "x86 SIMD intrinsics outside src/numerics/kernels/ "
+                    "— vector loops belong behind the dispatched "
+                    "KernelSet (see docs/PERF.md) so PROSE_SIMD=scalar "
+                    "and the cross-tier bit-equality tests cover them"))
+
     if is_header and in_src:
         guard = expected_guard(relpath)
         ifndef = define = None
@@ -345,6 +373,22 @@ SELF_TESTS = [
     ("unordered iteration in serve flagged", "src/serve/foo.cc",
      "std::unordered_map<int, int> q;\nfor (const auto &kv : q) use(kv);",
      ["unordered-iter"]),
+    ("intrinsics include outside kernels flagged", "src/numerics/foo.cc",
+     "#include <immintrin.h>", ["intrinsics"]),
+    ("intrinsics call outside kernels flagged", "src/systolic/foo.cc",
+     "auto v = _mm256_loadu_ps(p);", ["intrinsics"]),
+    ("vector type outside kernels flagged", "src/accel/foo.cc",
+     "__m512 acc;", ["intrinsics"]),
+    ("mask type outside kernels flagged", "src/accel/foo.cc",
+     "__mmask16 m = 0;", ["intrinsics"]),
+    ("intrinsics inside kernels fine",
+     "src/numerics/kernels/kernels_avx2.cc",
+     "#include <immintrin.h>\nauto v = _mm256_loadu_ps(p);", []),
+    ("intrinsics in comment ignored", "src/numerics/foo.cc",
+     "// the avx2 tier uses _mm256_loadu_ps(...) here", []),
+    ("getenv in kernel dispatch shim fine",
+     "src/numerics/kernels/kernel_dispatch.cc",
+     'const char *v = std::getenv("PROSE_SIMD");', []),
 ]
 
 
@@ -379,7 +423,7 @@ def main():
 
     if args.list_rules:
         for rule in ("float-eq", "unordered-iter", "naked-getenv",
-                     "no-cout", "include-guard"):
+                     "no-cout", "include-guard", "intrinsics"):
             print(rule)
         return 0
     if args.self_test:

@@ -1,0 +1,14 @@
+#include "arena.hh"
+
+namespace prose {
+
+Arena &
+Arena::threadLocal()
+{
+    // One arena per thread; ThreadPool lanes and the caller each get
+    // their own, so hot loops never contend or share bump pointers.
+    static thread_local Arena arena;
+    return arena;
+}
+
+} // namespace prose

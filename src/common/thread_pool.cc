@@ -18,6 +18,9 @@ thread_local int tlSerialDepth = 0;
 
 std::atomic<ThreadPool *> globalOverride{ nullptr };
 
+/** parallelFor calls that actually fanned out (see dispatchCount()). */
+std::atomic<std::uint64_t> pooledDispatches{ 0 };
+
 } // namespace
 
 /** One in-flight parallelFor, owned by the submitting stack frame. */
@@ -97,6 +100,12 @@ ThreadPool::inParallelRegion()
     return tlParallelDepth > 0 || tlSerialDepth > 0;
 }
 
+std::uint64_t
+ThreadPool::dispatchCount()
+{
+    return pooledDispatches.load(std::memory_order_relaxed);
+}
+
 ThreadPool::SerialGuard::SerialGuard()
 {
     ++tlSerialDepth;
@@ -137,6 +146,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t max_chunks,
         return;
     }
 
+    pooledDispatches.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> submit(submitMutex_);
     Job job;
     job.body = &body;

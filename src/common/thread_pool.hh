@@ -82,6 +82,14 @@ class ThreadPool
      *  SerialGuard), i.e. further parallelFor calls would run inline. */
     static bool inParallelRegion();
 
+    /**
+     * Process-wide count of parallelFor calls that actually woke the
+     * workers (inline/nested/serial runs don't count). Observability
+     * hook for the matmul pool-threshold tests: they assert whether a
+     * given shape dispatched by diffing this counter around the call.
+     */
+    static std::uint64_t dispatchCount();
+
     /** Total lanes: worker threads + the submitting thread. */
     unsigned parallelism() const
     {

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "bfloat16.hh"
+#include "kernels/kernel_dispatch.hh"
 
 namespace prose {
 
@@ -37,8 +38,11 @@ hostSoftmaxDivide(Matrix &exp_values, unsigned workers)
             denom += values[j];
         PROSE_ASSERT(denom > 0.0, "softmax row summed to zero");
         const float inv = static_cast<float>(1.0 / denom);
-        for (std::size_t j = 0; j < exp_values.cols(); ++j)
-            values[j] = quantizeBf16(values[j] * inv);
+        // Scale+quantize epilogue on the dispatched SIMD kernel; the
+        // fp64 denominator sum above stays scalar (it is a sequential
+        // reduction, not independent lanes).
+        kernels::activeKernels().scaleQuantizeRow(values, inv,
+                                                  exp_values.cols());
     });
 }
 

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Internal wiring between the per-tier kernel translation units and the
+ * dispatcher. Each SIMD TU is compiled with its own -m flags, so only
+ * kernel_dispatch.cc (compiled for the baseline ISA) may look at CPUID
+ * and decide which of these tables is safe to run.
+ */
+
+#ifndef PROSE_NUMERICS_KERNELS_KERNEL_TIERS_HH
+#define PROSE_NUMERICS_KERNELS_KERNEL_TIERS_HH
+
+#include "kernel_dispatch.hh"
+
+namespace prose::kernels {
+
+/** The scalar reference table (always compiled). */
+const KernelSet &scalarKernelSet();
+
+#ifdef PROSE_KERNELS_HAVE_AVX2
+const KernelSet &avx2KernelSet();
+#endif
+
+#ifdef PROSE_KERNELS_HAVE_AVX512
+const KernelSet &avx512KernelSet();
+#endif
+
+#ifdef PROSE_KERNELS_HAVE_AVX512BF16
+/** Hardware VCVTNEPS2BF16 quantize row (with a denormal-input guard);
+ *  spliced into the AVX-512 table when CPUID reports AVX512-BF16. */
+void quantizeBitsRowAvx512Bf16(std::uint16_t *dst, const float *src,
+                               std::size_t n);
+#endif
+
+} // namespace prose::kernels
+
+#endif // PROSE_NUMERICS_KERNELS_KERNEL_TIERS_HH

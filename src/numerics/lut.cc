@@ -1,6 +1,7 @@
 #include "lut.hh"
 
 #include <cmath>
+#include <cstring>
 
 #include "activations.hh"
 #include "common/logging.hh"
@@ -96,6 +97,21 @@ float
 TwoLevelLut::lookupFloat(float x) const
 {
     return lookup(Bfloat16(x)).toFloat();
+}
+
+std::vector<std::uint32_t>
+TwoLevelLut::flattenToFloatBits() const
+{
+    std::vector<std::uint32_t> flat(65536);
+    for (std::uint32_t bits = 0; bits < 65536; ++bits) {
+        const float out =
+            lookup(Bfloat16::fromBits(static_cast<std::uint16_t>(bits)))
+                .toFloat();
+        std::uint32_t out_bits;
+        std::memcpy(&out_bits, &out, sizeof(out_bits));
+        flat[bits] = out_bits;
+    }
+    return flat;
 }
 
 std::size_t

@@ -70,6 +70,18 @@ class TwoLevelLut
     /** Total second-level storage in bytes (the paper's 4 KB / 6 KB). */
     std::size_t storageBytes() const;
 
+    /**
+     * Flatten the two-level lookup into a 65536-entry table mapping
+     * every bf16 bit pattern to the fp32 bit pattern of
+     * lookup(pattern).toFloat(). Built by evaluating lookup() on each
+     * input, so a flat read is bit-exact with the two-level read by
+     * construction — including NaNs, denormals, and the boundary
+     * policies. This is the fast-forward engine's representation
+     * (kernels::KernelSet::lutRow gathers from it); the stepped
+     * wavefront keeps the hardware-faithful two-level lookup().
+     */
+    std::vector<std::uint32_t> flattenToFloatBits() const;
+
     /** Number of second-level tables (sign x exponent combinations). */
     std::size_t segmentCount() const { return segments_.size(); }
 

@@ -3,9 +3,11 @@
 #include <cmath>
 
 #include "bfloat16.hh"
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "float_bits.hh"
+#include "kernels/kernel_dispatch.hh"
 
 namespace prose {
 
@@ -50,8 +52,8 @@ Matrix::fillUniform(Rng &rng, float lo, float hi)
 void
 Matrix::quantizeBf16InPlace()
 {
-    for (float &x : data_)
-        x = quantizeBf16(x);
+    kernels::activeKernels().quantizeRoundtripRow(
+        data_.data(), data_.data(), data_.size());
 }
 
 float
@@ -76,57 +78,115 @@ Matrix::frobeniusNorm() const
 namespace {
 
 /** B-block of the cache-blocked kernel: kKBlock x kJBlock floats
- *  (128 KiB) stays resident while a chunk's rows stream over it. */
+ *  (32 KiB) stays L1-resident while a chunk's row blocks stream over
+ *  it — the register-tiled GEMM core re-reads the B block once per
+ *  6-row group, so it must sit in the nearest cache, not L2. */
 constexpr std::size_t kKBlock = 128;
-constexpr std::size_t kJBlock = 256;
+constexpr std::size_t kJBlock = 64;
 
-/** Below this many MACs pool dispatch costs more than it saves. */
-constexpr std::size_t kParallelMacThreshold = std::size_t{ 1 } << 15;
+/**
+ * Minimum MACs *per pool lane* before parallel dispatch pays for
+ * itself. Below it the wakeup/handoff latency and the cold-cache
+ * restart of each lane outweigh the split: ~2M MACs is roughly a
+ * millisecond of single-lane SIMD work, comfortably above the
+ * pool's dispatch cost. bench/perf_regression's matmul_cutoff_*
+ * section times both sides of the boundary.
+ */
+constexpr std::size_t kMinMacsPerLane = std::size_t{ 1 } << 21;
 
+/** True when `macs` of matmul work should fan out to the pool. */
 bool
-allFinite(const Matrix &m)
+shouldPool(std::size_t macs)
 {
-    const float *p = m.data();
-    for (std::size_t i = 0, e = m.size(); i < e; ++i)
-        if (!std::isfinite(p[i]))
+    const unsigned lanes = ThreadPool::global().parallelism();
+    if (lanes <= 1)
+        return false;
+    return macs >= kMinMacsPerLane * lanes;
+}
+
+/** Finiteness of a bf16-bits plane (exponent field not all-ones). */
+bool
+allFiniteBits(const std::uint16_t *bits, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if ((bits[i] & 0x7f80u) == 0x7f80u)
             return false;
     return true;
 }
 
 /**
- * Rows [r0, r1) of C += A x B, blocked over k and j. Every output
- * element accumulates its k terms in ascending k order — the same
- * sequence as the classic serial i-k-j kernel — so the result is
- * bit-identical regardless of blocking or which thread owns the rows.
- * skip_zeros must only be set when B is entirely finite (0 * Inf/NaN
- * must not be skipped); with finite B, skipping a zero A entry is
- * exact because C rows can never hold -0 here (accumulators start at
- * +0 and +0 + -0 == +0).
+ * Rows [r0, r1) of C += A x B, blocked over k and j for cache reuse and
+ * handed to the dispatched register-tiled GEMM kernel per (k, j) block.
+ * Every output element accumulates its k terms in ascending k order —
+ * the same sequence as the classic serial i-k-j kernel — so the result
+ * is bit-identical regardless of blocking or which thread owns the
+ * rows. The kernel MACs every term unconditionally; that is exact even
+ * for zero A entries against finite B (C accumulators are never -0 —
+ * they start at +0 and +0 + -0 == +0 — so adding a +-0 product is a
+ * bitwise no-op), and for non-finite B it is exactly what the
+ * unskipped reference loop did (0 * Inf must make NaN). SIMD applies
+ * across independent output lanes only; the per-element op sequence is
+ * untouched.
  */
 void
 matmulRows(const Matrix &a, const Matrix &b, Matrix &c, std::size_t r0,
-           std::size_t r1, bool skip_zeros)
+           std::size_t r1)
 {
+    const kernels::KernelSet &ks = kernels::activeKernels();
     const std::size_t depth = a.cols();
     const std::size_t n = b.cols();
     for (std::size_t kb = 0; kb < depth; kb += kKBlock) {
         const std::size_t k_end = std::min(depth, kb + kKBlock);
-        for (std::size_t i = r0; i < r1; ++i) {
-            const float *arow = a.row(i);
-            float *crow = c.row(i);
-            for (std::size_t jb = 0; jb < n; jb += kJBlock) {
-                const std::size_t j_end = std::min(n, jb + kJBlock);
-                for (std::size_t k = kb; k < k_end; ++k) {
-                    const float aik = arow[k];
-                    if (skip_zeros && isZeroValue(aik))
-                        continue;
-                    const float *brow = b.row(k);
-                    for (std::size_t j = jb; j < j_end; ++j)
-                        crow[j] += aik * brow[j];
-                }
-            }
+        for (std::size_t jb = 0; jb < n; jb += kJBlock) {
+            const std::size_t j_end = std::min(n, jb + kJBlock);
+            ks.gemmTileF32(c.row(r0) + jb, n, a.row(r0) + kb, depth,
+                           b.row(kb) + jb, n, r1 - r0, j_end - jb,
+                           k_end - kb);
         }
     }
+}
+
+/**
+ * The bits twin of matmulRows: same blocking, same ascending-k order,
+ * but A and B are bf16 bit planes and the (exact) widening to fp32
+ * happens inside the GEMM tile kernel. Bit-identical to running
+ * matmulRows on the widened operands, including the unconditional MAC
+ * of +-0 A entries (see matmulRows).
+ */
+void
+matmulRowsBits(const std::uint16_t *a_bits, const std::uint16_t *b_bits,
+               Matrix &c, std::size_t r0, std::size_t r1,
+               std::size_t depth)
+{
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    const std::size_t n = c.cols();
+    for (std::size_t kb = 0; kb < depth; kb += kKBlock) {
+        const std::size_t k_end = std::min(depth, kb + kKBlock);
+        for (std::size_t jb = 0; jb < n; jb += kJBlock) {
+            const std::size_t j_end = std::min(n, jb + kJBlock);
+            ks.gemmTileBf16(c.row(r0) + jb, n,
+                            a_bits + r0 * depth + kb, depth,
+                            b_bits + kb * n + jb, n, r1 - r0,
+                            j_end - jb, k_end - kb);
+        }
+    }
+}
+
+/** C = widen(A) x widen(B) over bf16 bit planes, pooled when big. */
+Matrix
+matmulBits(const std::uint16_t *a_bits, std::size_t m, std::size_t depth,
+           const std::uint16_t *b_bits, std::size_t n)
+{
+    Matrix c(m, n);
+    if (!shouldPool(m * depth * n)) {
+        matmulRowsBits(a_bits, b_bits, c, 0, m, depth);
+        return c;
+    }
+    ThreadPool::global().parallelFor(
+        m, [&](std::size_t r0, std::size_t r1) {
+            matmulRowsBits(a_bits, b_bits, c, r0, r1, depth);
+        });
+    return c;
 }
 
 } // namespace
@@ -134,8 +194,12 @@ matmulRows(const Matrix &a, const Matrix &b, Matrix &c, std::size_t r0,
 void
 QuantizedOperand::update(const Matrix &source)
 {
-    bf16_ = source;
-    bf16_.quantizeBf16InPlace();
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    bits_.resize(source.size());
+    ks.quantizeBitsRow(bits_.data(), source.data(), source.size());
+    bf16_ = Matrix(source.rows(), source.cols());
+    ks.widenRow(bf16_.data(), bits_.data(), bits_.size());
+    allFinite_ = allFiniteBits(bits_.data(), bits_.size());
     ++version_;
 }
 
@@ -145,15 +209,13 @@ matmul(const Matrix &a, const Matrix &b)
     PROSE_ASSERT(a.cols() == b.rows(), "matmul inner-dim mismatch: ",
                  a.cols(), " vs ", b.rows());
     Matrix c(a.rows(), b.cols());
-    const bool skip_zeros = allFinite(b);
-    const std::size_t macs = a.rows() * a.cols() * b.cols();
-    if (macs < kParallelMacThreshold) {
-        matmulRows(a, b, c, 0, a.rows(), skip_zeros);
+    if (!shouldPool(a.rows() * a.cols() * b.cols())) {
+        matmulRows(a, b, c, 0, a.rows());
         return c;
     }
     ThreadPool::global().parallelFor(
         a.rows(), [&](std::size_t r0, std::size_t r1) {
-            matmulRows(a, b, c, r0, r1, skip_zeros);
+            matmulRows(a, b, c, r0, r1);
         });
     return c;
 }
@@ -162,13 +224,17 @@ Matrix
 matmulBf16(const Matrix &a, const Matrix &b)
 {
     PROSE_ASSERT(a.cols() == b.rows(), "matmulBf16 inner-dim mismatch");
-    // Quantize operands once up front (what streaming bf16 inputs see).
-    Matrix aq = a;
-    Matrix bq = b;
-    aq.quantizeBf16InPlace();
-    bq.quantizeBf16InPlace();
-    // Accumulate in fp32 like the 32-bit PE accumulators.
-    return matmul(aq, bq);
+    // Quantize both operands once up front (what streaming bf16 inputs
+    // see) into per-thread arena scratch — compact bit planes, no heap
+    // churn — then accumulate in fp32 like the 32-bit PE accumulators.
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    Arena &arena = Arena::threadLocal();
+    Arena::Scope scope(arena);
+    std::uint16_t *qa = arena.alloc<std::uint16_t>(a.size());
+    ks.quantizeBitsRow(qa, a.data(), a.size());
+    std::uint16_t *qb = arena.alloc<std::uint16_t>(b.size());
+    ks.quantizeBitsRow(qb, b.data(), b.size());
+    return matmulBits(qa, a.rows(), a.cols(), qb, b.cols());
 }
 
 Matrix
@@ -177,9 +243,13 @@ matmulBf16(const Matrix &a, const QuantizedOperand &b)
     PROSE_ASSERT(!b.empty(), "matmulBf16 against an empty cached operand");
     PROSE_ASSERT(a.cols() == b.bf16().rows(),
                  "matmulBf16 inner-dim mismatch");
-    Matrix aq = a;
-    aq.quantizeBf16InPlace();
-    return matmul(aq, b.bf16());
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    Arena &arena = Arena::threadLocal();
+    Arena::Scope scope(arena);
+    std::uint16_t *qa = arena.alloc<std::uint16_t>(a.size());
+    ks.quantizeBitsRow(qa, a.data(), a.size());
+    return matmulBits(qa, a.rows(), a.cols(), b.bits().data(),
+                      b.bf16().cols());
 }
 
 Matrix
@@ -290,6 +360,14 @@ bmm(const std::vector<Matrix> &a, const std::vector<Matrix> &b)
 {
     PROSE_ASSERT(a.size() == b.size(), "bmm batch mismatch");
     std::vector<Matrix> c(a.size());
+    std::size_t total_macs = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total_macs += a[i].rows() * a[i].cols() * b[i].cols();
+    if (!shouldPool(total_macs)) {
+        for (std::size_t i = 0; i < a.size(); ++i)
+            c[i] = matmul(a[i], b[i]);
+        return c;
+    }
     // Batch elements are independent; the per-element matmuls run
     // inline inside this parallel region (nested calls never re-enter
     // the pool).

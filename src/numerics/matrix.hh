@@ -81,6 +81,11 @@ class Matrix
  * callers quantize once per weight load (via the constructor or
  * update()) instead of once per matmul call. update() bumps version(),
  * which is how cache-invalidation tests observe a reload.
+ *
+ * Storage is structure-of-arrays: the primary plane is the compact
+ * bf16 bit pattern (half the fp32 footprint, what the SIMD GEMM
+ * kernels stream), with a widened fp32 mirror kept for callers that
+ * want the values as a Matrix.
  */
 class QuantizedOperand
 {
@@ -94,16 +99,25 @@ class QuantizedOperand
     /** Re-quantize from a (possibly mutated) source matrix. */
     void update(const Matrix &source);
 
-    bool empty() const { return bf16_.size() == 0; }
+    bool empty() const { return bits_.empty(); }
 
     /** The bf16-quantized operand (values widened back to float). */
     const Matrix &bf16() const { return bf16_; }
+
+    /** The operand as raw bf16 bit patterns, row-major. */
+    const std::vector<std::uint16_t> &bits() const { return bits_; }
+
+    /** True when no element quantized to +-Inf or NaN (the zero-skip
+     *  gate of the bits GEMM path). */
+    bool allFinite() const { return allFinite_; }
 
     /** Incremented by every update(); 0 while empty. */
     std::uint64_t version() const { return version_; }
 
   private:
     Matrix bf16_;
+    std::vector<std::uint16_t> bits_;
+    bool allFinite_ = true;
     std::uint64_t version_ = 0;
 };
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
-#include "numerics/host_kernels.hh"
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "numerics/bfloat16.hh"
+#include "numerics/host_kernels.hh"
+#include "numerics/kernels/kernel_dispatch.hh"
 
 namespace prose {
 
@@ -58,24 +60,76 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
     }
     const std::size_t s = array.geometry().dim;
 
+    // Quantize each whole operand once into per-thread arena scratch;
+    // every tile below is a zero-copy view into these planes. Before
+    // this, A was re-quantized for every column tile and B for every
+    // row tile (ceil(n/s) and ceil(m/s) times over), with two Matrix
+    // allocations per tile on top.
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    Arena &arena = Arena::threadLocal();
+    Arena::Scope scope(arena);
+    std::uint16_t *qa = arena.alloc<std::uint16_t>(a.size());
+    ks.quantizeBitsRow(qa, a.data(), a.size());
+    std::uint16_t *qb = arena.alloc<std::uint16_t>(b.size());
+    ks.quantizeBitsRow(qb, b.data(), b.size());
+
+    // For the fast engine, pre-widen the quantized planes back to fp32
+    // (exact: bits << 16) so every tile visit runs the pure fp32 GEMM
+    // core instead of re-widening its panels into kernel scratch — the
+    // A panel alone would otherwise be re-widened once per column tile.
+    // A is widened in place as one contiguous plane; B is compacted one
+    // column panel at a time (below), because the core would otherwise
+    // stride through the full row pitch and thrash the DTLB on wide
+    // operands. The stepped engine reads the bf16 planes and ignores
+    // these.
+    float *wa = nullptr;
+    float *wpb = nullptr;
+    if (mode_ != FsimMode::Stepped) {
+        wa = arena.alloc<float>(a.size());
+        ks.widenRow(wa, qa, a.size());
+        wpb = arena.alloc<float>(k * std::min(s, n));
+    }
+
+    // Column tiles outer, row tiles inner: the B column panel (k x s)
+    // is touched by every row tile, so walking tn in the outer loop
+    // reads each panel exactly once while the much smaller A plane
+    // (m x k) stays cache-resident across the inner sweep. With row
+    // tiles outer, the full B plane — the largest operand in every
+    // dataflow — was re-streamed once per row tile. Each C tile is
+    // still computed over the full depth in one visit, so the result
+    // is bit-identical either way; only the visit order changes.
     Matrix c(m, n);
-    for (std::size_t tm = 0; tm < m; tm += s) {
-        const std::size_t rows = std::min(s, m - tm);
-        for (std::size_t tn = 0; tn < n; tn += s) {
-            const std::size_t cols = std::min(s, n - tn);
+    for (std::size_t tn = 0; tn < n; tn += s) {
+        const std::size_t cols = std::min(s, n - tn);
+        if (wpb) {
+            // Compact-widen this B column panel once; every row tile
+            // below reuses it.
+            for (std::size_t r = 0; r < k; ++r)
+                ks.widenRow(wpb + r * cols, qb + r * n + tn, cols);
+        }
+        const TileOperand b_view{ b.data() + tn,  n, qb + tn, n,
+                                  k,              cols,
+                                  wpb,            cols };
+        for (std::size_t tm = 0; tm < m; tm += s) {
+            const std::size_t rows = std::min(s, m - tm);
+            const TileOperand a_view{ a.row(tm),   k, qa + tm * k, k,
+                                      rows,        k,
+                                      wa ? wa + tm * k : nullptr, k };
 
             // Stream the full-k tile product into the accumulators.
-            Matrix a_tile(rows, k), b_tile(k, cols);
-            for (std::size_t i = 0; i < rows; ++i)
-                std::copy_n(a.row(tm + i), k, a_tile.row(i));
-            for (std::size_t i = 0; i < k; ++i)
-                std::copy_n(b.row(i) + tn, cols, b_tile.row(i));
-            array.matmulTile(a_tile, b_tile);
+            array.matmulTile(a_view, b_view);
 
             // ABFT: verify the tile's row/column checksums before any
             // SIMD pass consumes the accumulators; repair located cells
-            // through the accumulator write port.
+            // through the accumulator write port. The checker works on
+            // Matrix tiles, so this (stepped-engine) branch alone
+            // materializes copies of the views.
             if (abft_.options().enabled) {
+                Matrix a_tile(rows, k), b_tile(k, cols);
+                for (std::size_t i = 0; i < rows; ++i)
+                    std::copy_n(a.row(tm + i), k, a_tile.row(i));
+                for (std::size_t i = 0; i < k; ++i)
+                    std::copy_n(b.row(i) + tn, cols, b_tile.row(i));
                 Matrix acc = array.accumulators();
                 const AbftTileResult verdict =
                     abft_.checkTile(a_tile, b_tile, acc);
@@ -85,26 +139,21 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
             }
 
             // Fused MulAdd: MUL pass (broadcast scalar) + ADD pass
-            // (vector register streaming the addend tile).
+            // (vector register streaming the addend tile view).
             array.simdScalar(SimdOp::MulScalar, alpha);
             if (addend) {
-                Matrix addend_tile(rows, cols);
                 const bool broadcast = addend->rows() == 1;
-                for (std::size_t i = 0; i < rows; ++i)
-                    for (std::size_t j = 0; j < cols; ++j)
-                        addend_tile(i, j) = broadcast
-                                                ? (*addend)(0, tn + j)
-                                                : (*addend)(tm + i,
-                                                            tn + j);
-                array.simdVector(SimdOp::AddVector, addend_tile);
+                const TileSpan addend_view{
+                    addend->row(broadcast ? 0 : tm) + tn,
+                    addend->cols(), rows, cols, broadcast
+                };
+                array.simdVector(SimdOp::AddVector, addend_view);
             }
             if (apply_special)
                 array.simdSpecial(special);
 
-            Matrix out;
-            array.drain(out);
-            for (std::size_t i = 0; i < rows; ++i)
-                std::copy_n(out.row(i), cols, c.row(tm + i) + tn);
+            // Stream the tile straight into its slot of C.
+            array.drainTo(c.row(tm) + tn, n);
         }
     }
     return c;

@@ -3,26 +3,40 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
 #include "numerics/bfloat16.hh"
 #include "numerics/float_bits.hh"
+#include "numerics/kernels/kernel_dispatch.hh"
 
 namespace prose {
 namespace {
 
-/**
- * acc[j] += av * b[j] over one accumulator row. The restrict
- * qualifiers let the compiler vectorize the j lanes (the members the
- * pointers come from never alias); lanes are independent accumulators,
- * so vectorization does not reorder any per-accumulator fp32 op.
- */
-inline void
-macRow(float *__restrict__ acc, const float *__restrict__ b, float av,
-       std::size_t cols)
+/** operand(i, pass) through a TileSpan (broadcast-aware). */
+inline float
+spanAt(const TileSpan &span, std::size_t i, std::size_t pass)
 {
-    for (std::size_t j = 0; j < cols; ++j)
-        acc[j] += av * b[j];
+    const std::size_t row = span.broadcastRow ? 0 : i;
+    return span.data[row * span.stride + pass];
+}
+
+/**
+ * Process-wide flattened special-function tables for the fast-forward
+ * SIMD sweep. Every array instantiates the same fixed GELU/Exp
+ * factories, so the 256 KiB flat map (bf16 input bits -> widened fp32
+ * output bits) can be shared and built once instead of per-array;
+ * flattenToFloatBits() evaluates the member two-level lookup on every
+ * input, so reads are bit-identical to applyAlu's stepped path.
+ */
+const std::uint32_t *
+flatLutTable(SimdOp op)
+{
+    static const std::vector<std::uint32_t> gelu_table =
+        TwoLevelLut::makeGelu().flattenToFloatBits();
+    static const std::vector<std::uint32_t> exp_table =
+        TwoLevelLut::makeExp().flattenToFloatBits();
+    return op == SimdOp::Gelu ? gelu_table.data() : exp_table.data();
 }
 
 } // namespace
@@ -194,12 +208,12 @@ SystolicArray::dispatch(const char *what, SteppedFn stepped, FastFn fast)
 }
 
 void
-SystolicArray::stepMatmulCycle(const Matrix &a, const Matrix &b,
+SystolicArray::stepMatmulCycle(const TileOperand &a, const TileOperand &b,
                                std::uint64_t wavefront, std::size_t k_depth)
 {
     const std::size_t n = geometry_.dim;
-    const std::size_t rows = a.rows();
-    const std::size_t cols = b.cols();
+    const std::size_t rows = a.rows;
+    const std::size_t cols = b.cols;
 
     // Shift the A registers east: PE(i, j) latches what PE(i, j-1) held.
     for (std::size_t i = 0; i < n; ++i) {
@@ -209,12 +223,14 @@ SystolicArray::stepMatmulCycle(const Matrix &a, const Matrix &b,
             vrow[j] = vrow[j - 1];
             frow[j] = frow[j - 1];
         }
-        // West-edge injection, skewed by row index (delay slots).
+        // West-edge injection, skewed by row index (delay slots). The
+        // edge latch quantizes the incoming fp32 element to bf16.
         const std::int64_t k = static_cast<std::int64_t>(wavefront) -
                                static_cast<std::int64_t>(i);
         if (i < rows && k >= 0 &&
             k < static_cast<std::int64_t>(k_depth)) {
-            vrow[0] = quantizeBf16(a(i, static_cast<std::size_t>(k)));
+            vrow[0] = quantizeBf16(
+                a.fp32[i * a.fp32Stride + static_cast<std::size_t>(k)]);
             frow[0] = 1;
         } else {
             vrow[0] = 0.0f;
@@ -232,7 +248,8 @@ SystolicArray::stepMatmulCycle(const Matrix &a, const Matrix &b,
                                static_cast<std::int64_t>(j);
         if (j < cols && k >= 0 &&
             k < static_cast<std::int64_t>(k_depth)) {
-            bReg_.value[j] = quantizeBf16(b(static_cast<std::size_t>(k), j));
+            bReg_.value[j] = quantizeBf16(
+                b.fp32[static_cast<std::size_t>(k) * b.fp32Stride + j]);
             bReg_.valid[j] = 1;
         } else {
             bReg_.value[j] = 0.0f;
@@ -253,18 +270,18 @@ SystolicArray::stepMatmulCycle(const Matrix &a, const Matrix &b,
 }
 
 std::uint64_t
-SystolicArray::matmulTile(const Matrix &a, const Matrix &b)
+SystolicArray::matmulTile(const TileOperand &a, const TileOperand &b)
 {
     const std::size_t n = geometry_.dim;
-    const std::size_t rows = a.rows();
-    const std::size_t cols = b.cols();
-    const std::size_t k_depth = a.cols();
+    const std::size_t rows = a.rows;
+    const std::size_t cols = b.cols;
+    const std::size_t k_depth = a.cols;
     PROSE_ASSERT(rows > 0 && cols > 0 && k_depth > 0,
                  "empty matmul tile");
     PROSE_ASSERT(rows <= n && cols <= n,
                  "tile exceeds the array: ", rows, "x", cols,
                  " on ", n, "x", n);
-    PROSE_ASSERT(b.rows() == k_depth, "tile inner-dimension mismatch");
+    PROSE_ASSERT(b.rows == k_depth, "tile inner-dimension mismatch");
 
     return dispatch(
         "matmulTile", [&] { return steppedMatmulTile(a, b); },
@@ -272,12 +289,33 @@ SystolicArray::matmulTile(const Matrix &a, const Matrix &b)
 }
 
 std::uint64_t
-SystolicArray::steppedMatmulTile(const Matrix &a, const Matrix &b)
+SystolicArray::matmulTile(const Matrix &a, const Matrix &b)
+{
+    // Quantize into per-thread arena scratch once, then run the
+    // zero-copy view path. External callers (tests, the DSE micro
+    // kernels) keep the Matrix interface; the fused fsim pipeline
+    // quantizes whole operands up front and builds views itself.
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    Arena &arena = Arena::threadLocal();
+    Arena::Scope scope(arena);
+    std::uint16_t *qa = arena.alloc<std::uint16_t>(a.size());
+    ks.quantizeBitsRow(qa, a.data(), a.size());
+    std::uint16_t *qb = arena.alloc<std::uint16_t>(b.size());
+    ks.quantizeBitsRow(qb, b.data(), b.size());
+    const TileOperand ta{ a.data(), a.cols(), qa,
+                          a.cols(), a.rows(), a.cols() };
+    const TileOperand tb{ b.data(), b.cols(), qb,
+                          b.cols(), b.rows(), b.cols() };
+    return matmulTile(ta, tb);
+}
+
+std::uint64_t
+SystolicArray::steppedMatmulTile(const TileOperand &a, const TileOperand &b)
 {
     const std::size_t n = geometry_.dim;
-    const std::size_t rows = a.rows();
-    const std::size_t cols = b.cols();
-    const std::size_t k_depth = a.cols();
+    const std::size_t rows = a.rows;
+    const std::size_t cols = b.cols;
+    const std::size_t k_depth = a.cols;
 
     liveRows_ = std::max(liveRows_, rows);
     liveCols_ = std::max(liveCols_, cols);
@@ -326,40 +364,41 @@ SystolicArray::steppedMatmulTile(const Matrix &a, const Matrix &b)
 }
 
 std::uint64_t
-SystolicArray::fastMatmulTile(const Matrix &a, const Matrix &b)
+SystolicArray::fastMatmulTile(const TileOperand &a, const TileOperand &b)
 {
     const std::size_t n = geometry_.dim;
-    const std::size_t rows = a.rows();
-    const std::size_t cols = b.cols();
-    const std::size_t k_depth = a.cols();
+    const std::size_t rows = a.rows;
+    const std::size_t cols = b.cols;
+    const std::size_t k_depth = a.cols;
 
     liveRows_ = std::max(liveRows_, rows);
     liveCols_ = std::max(liveCols_, cols);
 
-    // Quantize operands once up front — the stepped machine quantizes
-    // the same elements with the same function at the edge latches.
-    scratchA_.resize(rows * k_depth);
-    for (std::size_t i = 0; i < rows; ++i) {
-        const float *arow = a.row(i);
-        for (std::size_t kk = 0; kk < k_depth; ++kk)
-            scratchA_[i * k_depth + kk] = quantizeBf16(arow[kk]);
-    }
-    scratchB_.resize(k_depth * cols);
-    for (std::size_t kk = 0; kk < k_depth; ++kk) {
-        const float *brow = b.row(kk);
-        for (std::size_t j = 0; j < cols; ++j)
-            scratchB_[kk * cols + j] = quantizeBf16(brow[j]);
-    }
-
     // PE(i, j) latches A(i, k') and B(k', j) together at wavefront
-    // k' + i + j, so its MACs execute in ascending-k' order — the plain
-    // i/k/j accumulation below performs the identical sequence of fp32
-    // operations per accumulator.
-    for (std::size_t i = 0; i < rows; ++i) {
-        float *arow = acc_.data() + i * n;
-        const float *qa = scratchA_.data() + i * k_depth;
-        for (std::size_t kk = 0; kk < k_depth; ++kk)
-            macRow(arow, scratchB_.data() + kk * cols, qa[kk], cols);
+    // k' + i + j, so its MACs execute in ascending-k' order — the GEMM
+    // microkernel performs the identical sequence of fp32 operations
+    // per accumulator (it vectorizes across independent j lanes only),
+    // streaming the pre-quantized bf16 bit planes with no per-tile
+    // copy or re-quantization. widen(bits) == what the stepped edge
+    // latch computes, by the TileOperand invariant.
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    if (a.wide && b.wide) {
+        // Pre-widened planes: run the fp32 core, blocking the depth so
+        // the live B panel (kb * cols * 4 B = 32 KiB) stays L1-resident
+        // across the core's row groups. Ascending kb preserves the
+        // per-accumulator ascending-k' MAC order exactly.
+        const std::size_t kb_step =
+            std::max<std::size_t>(64, (32 * 1024 / sizeof(float)) /
+                                          std::max<std::size_t>(cols, 1));
+        for (std::size_t kb = 0; kb < k_depth; kb += kb_step) {
+            const std::size_t kd = std::min(kb_step, k_depth - kb);
+            ks.gemmTileF32(acc_.data(), n, a.wide + kb, a.wideStride,
+                           b.wide + kb * b.wideStride, b.wideStride,
+                           rows, cols, kd);
+        }
+    } else {
+        ks.gemmTileBf16(acc_.data(), n, a.bf16, a.bf16Stride, b.bf16,
+                        b.bf16Stride, rows, cols, k_depth);
     }
     macCount_ += static_cast<std::uint64_t>(rows) * cols * k_depth;
 
@@ -489,12 +528,18 @@ SystolicArray::fastSimdScalar(SimdOp op, float scalar)
 {
     // A full rotation returns the tile to its original orientation and
     // feeds every live element through the ALU exactly once, so the
-    // pass is an in-place elementwise map.
+    // pass is an in-place elementwise map on the SIMD-row kernels. The
+    // broadcast operand's bf16 quantization is hoisted out of the loop
+    // — the ALU quantizes the same scalar to the same bits every cycle.
     const std::size_t n = geometry_.dim;
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    const float q = quantizeBf16(scalar);
     for (std::size_t i = 0; i < liveRows_; ++i) {
         float *row = acc_.data() + i * n;
-        for (std::size_t j = 0; j < liveCols_; ++j)
-            row[j] = applyAlu(op, row[j], scalar);
+        if (op == SimdOp::MulScalar)
+            ks.simdMulScalarRow(row, q, liveCols_);
+        else
+            ks.simdAddScalarRow(row, q, liveCols_);
     }
     simdOpCount_ += static_cast<std::uint64_t>(liveRows_) * liveCols_;
     simdCycles_ += liveCols_;
@@ -502,14 +547,14 @@ SystolicArray::fastSimdScalar(SimdOp op, float scalar)
 }
 
 std::uint64_t
-SystolicArray::simdVector(SimdOp op, const Matrix &operand)
+SystolicArray::simdVector(SimdOp op, const TileSpan &operand)
 {
     PROSE_ASSERT(op == SimdOp::MulVector || op == SimdOp::AddVector,
                  "simdVector needs a vector op");
     PROSE_ASSERT(liveRows_ > 0 && liveCols_ > 0,
                  "SIMD pass with no live tile");
-    PROSE_ASSERT(operand.rows() >= liveRows_ &&
-                     operand.cols() >= liveCols_,
+    PROSE_ASSERT((operand.broadcastRow || operand.rows >= liveRows_) &&
+                     operand.cols >= liveCols_,
                  "vector operand smaller than the live tile");
     return dispatch(
         "simdVector", [&] { return steppedSimdVector(op, operand); },
@@ -517,7 +562,15 @@ SystolicArray::simdVector(SimdOp op, const Matrix &operand)
 }
 
 std::uint64_t
-SystolicArray::steppedSimdVector(SimdOp op, const Matrix &operand)
+SystolicArray::simdVector(SimdOp op, const Matrix &operand)
+{
+    return simdVector(op, TileSpan{ operand.data(), operand.cols(),
+                                    operand.rows(), operand.cols(),
+                                    false });
+}
+
+std::uint64_t
+SystolicArray::steppedSimdVector(SimdOp op, const TileSpan &operand)
 {
     const std::size_t n = geometry_.dim;
     std::vector<float> results(liveRows_);
@@ -537,7 +590,8 @@ SystolicArray::steppedSimdVector(SimdOp op, const Matrix &operand)
         aBuffer_.consume();
         for (std::size_t i = 0; i < liveRows_; ++i) {
             // Column 0 of the rotated tile is original column `pass`.
-            results[i] = applyAlu(op, acc_[i * n], operand(i, pass));
+            results[i] =
+                applyAlu(op, acc_[i * n], spanAt(operand, i, pass));
             ++simdOpCount_;
         }
         rotateLeft(results);
@@ -547,15 +601,23 @@ SystolicArray::steppedSimdVector(SimdOp op, const Matrix &operand)
 }
 
 std::uint64_t
-SystolicArray::fastSimdVector(SimdOp op, const Matrix &operand)
+SystolicArray::fastSimdVector(SimdOp op, const TileSpan &operand)
 {
     // The rotated tile's column 0 during pass j is original column j,
-    // so the in-place map pairs element (i, j) with operand(i, j).
+    // so the in-place map pairs element (i, j) with operand(i, j); each
+    // accumulator row runs on the SIMD vector-row kernel against the
+    // matching operand row (row 0 throughout when broadcasting).
     const std::size_t n = geometry_.dim;
+    const kernels::KernelSet &ks = kernels::activeKernels();
     for (std::size_t i = 0; i < liveRows_; ++i) {
         float *row = acc_.data() + i * n;
-        for (std::size_t j = 0; j < liveCols_; ++j)
-            row[j] = applyAlu(op, row[j], operand(i, j));
+        const float *vrow =
+            operand.data +
+            (operand.broadcastRow ? 0 : i) * operand.stride;
+        if (op == SimdOp::MulVector)
+            ks.simdMulVectorRow(row, vrow, liveCols_);
+        else
+            ks.simdAddVectorRow(row, vrow, liveCols_);
     }
     simdOpCount_ += static_cast<std::uint64_t>(liveRows_) * liveCols_;
 
@@ -616,35 +678,49 @@ SystolicArray::steppedSimdSpecial(SimdOp op)
 std::uint64_t
 SystolicArray::fastSimdSpecial(SimdOp op)
 {
+    PROSE_ASSERT(op != SimdOp::Gelu || geometry_.hasGelu,
+                 "GELU issued to an array without GELU LUTs (",
+                 geometry_.describe(), ")");
+    PROSE_ASSERT(op != SimdOp::Exp || geometry_.hasExp,
+                 "Exp issued to an array without Exp LUTs (",
+                 geometry_.describe(), ")");
     const std::size_t n = geometry_.dim;
-    for (std::size_t i = 0; i < liveRows_; ++i) {
-        float *row = acc_.data() + i * n;
-        for (std::size_t j = 0; j < liveCols_; ++j)
-            row[j] = applyAlu(op, row[j], 0.0f);
-    }
+    const std::uint32_t *table = flatLutTable(op);
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    for (std::size_t i = 0; i < liveRows_; ++i)
+        ks.lutRow(acc_.data() + i * n, table, liveCols_);
     simdOpCount_ += static_cast<std::uint64_t>(liveRows_) * liveCols_;
     simdCycles_ += liveCols_;
     return liveCols_;
 }
 
 std::uint64_t
-SystolicArray::drain(Matrix &out)
+SystolicArray::drainTo(float *dst, std::size_t stride)
 {
     PROSE_ASSERT(liveRows_ > 0 && liveCols_ > 0, "drain with no live tile");
     const std::size_t n = geometry_.dim;
-    out = Matrix(liveRows_, liveCols_);
     // One column exits through the OUTPUT port per cycle; the port taps
     // accumulator bits [31:16] (truncation to bf16). This is already
     // closed form — one pass over the live region — so both execution
-    // engines share it.
-    for (std::size_t pass = 0; pass < liveCols_; ++pass) {
-        for (std::size_t i = 0; i < liveRows_; ++i)
-            out(i, pass) = truncateBf16(acc_[i * n + pass]);
-        ++simdCycles_;
-    }
+    // engines share it. The sweep runs row-wise on the truncate kernel;
+    // each element is an independent bit-mask, so the traversal order
+    // is immaterial to the values, and the cycle count stays one per
+    // live column.
+    const kernels::KernelSet &ks = kernels::activeKernels();
+    for (std::size_t i = 0; i < liveRows_; ++i)
+        ks.truncateRow(dst + i * stride, acc_.data() + i * n, liveCols_);
+    simdCycles_ += liveCols_;
     const std::uint64_t cycles = liveCols_;
     clearAccumulators();
     return cycles;
+}
+
+std::uint64_t
+SystolicArray::drain(Matrix &out)
+{
+    PROSE_ASSERT(liveRows_ > 0 && liveCols_ > 0, "drain with no live tile");
+    out = Matrix(liveRows_, liveCols_);
+    return drainTo(out.data(), out.cols());
 }
 
 void

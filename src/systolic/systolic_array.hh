@@ -74,6 +74,57 @@ enum class SimdOp
 
 const char *toString(SimdOp op);
 
+/**
+ * Zero-copy view of one matmul operand tile, structure-of-arrays: the
+ * unquantized fp32 elements (what the stepped engine's edge latches
+ * quantize) alongside the bf16 bit plane of the very same elements
+ * (what the fast engine's GEMM microkernel streams). Callers that
+ * quantize a whole operand once — e.g. the functional simulator's
+ * fused pipeline — carve per-tile views out of it instead of copying
+ * and re-quantizing per tile.
+ *
+ * Invariant: bf16[i*bf16Stride + j] == Bfloat16::roundFromFloat(
+ * fp32[i*fp32Stride + j]) for every element. Validate mode enforces it
+ * end to end: the engines read different planes and must agree bit for
+ * bit.
+ */
+struct TileOperand
+{
+    const float *fp32;         ///< row-major unquantized elements
+    std::size_t fp32Stride;    ///< fp32 row stride, in elements
+    const std::uint16_t *bf16; ///< bf16 bits of the same elements
+    std::size_t bf16Stride;    ///< bf16 row stride, in elements
+    std::size_t rows;
+    std::size_t cols;
+
+    /**
+     * Optional: the bf16 plane pre-widened back to fp32 —
+     * wide[i*wideStride + j] == widen(bf16[i*bf16Stride + j]), which
+     * widenRow produces exactly (bits << 16). When both operands carry
+     * it, the fast engine runs the pure fp32 GEMM core directly and
+     * skips the per-tile widening scratch entirely; the fused pipeline
+     * widens each whole operand once per dataflow call instead of once
+     * per tile visit. Null falls back to in-kernel widening.
+     */
+    const float *wide = nullptr;
+    std::size_t wideStride = 0;
+};
+
+/**
+ * Zero-copy view of a vector-register operand tile for simdVector().
+ * With broadcastRow set, row 0 serves every live row (a 1 x cols
+ * operand applied to all rows — the fused pipeline's row-broadcast
+ * addend).
+ */
+struct TileSpan
+{
+    const float *data;   ///< row-major fp32 elements
+    std::size_t stride;  ///< row stride, in elements
+    std::size_t rows;    ///< rows covered (ignored when broadcasting)
+    std::size_t cols;
+    bool broadcastRow = false;
+};
+
 /** One systolic array instance (cycle-stepped or fast-forwarded). */
 class SystolicArray
 {
@@ -94,8 +145,14 @@ class SystolicArray
      * k x (cols <= n). Rows/columns beyond the operand shapes simply see
      * no traffic. Runs on the engine selected by effectiveMode().
      *
+     * The view overload is the zero-copy hot path: both operand planes
+     * (fp32 + pre-quantized bf16 bits) are the caller's, nothing is
+     * copied or re-quantized per tile. The Matrix overload quantizes
+     * into per-thread arena scratch and delegates.
+     *
      * @return matmul-mode cycles spent, including stall cycles.
      */
+    std::uint64_t matmulTile(const TileOperand &a, const TileOperand &b);
     std::uint64_t matmulTile(const Matrix &a, const Matrix &b);
 
     /** One rotation pass applying a scalar-register op to every column. */
@@ -104,9 +161,11 @@ class SystolicArray
     /**
      * One rotation pass applying a vector-register op. Column j of
      * `operand` (an up-to-n x n tile matching the live accumulator
-     * region) is streamed into the vector register for pass j; streaming
-     * stalls are modelled through the west-edge buffer.
+     * region, or a broadcast row) is streamed into the vector register
+     * for pass j; streaming stalls are modelled through the west-edge
+     * buffer.
      */
+    std::uint64_t simdVector(SimdOp op, const TileSpan &operand);
     std::uint64_t simdVector(SimdOp op, const Matrix &operand);
 
     /** One rotation pass through the GELU or Exp lookup tables. */
@@ -116,10 +175,14 @@ class SystolicArray
      * Stream the live accumulator region out through the OUTPUT port
      * (bits [31:16] per element), one column per cycle, then clear it.
      *
-     * @param out receives the rows x cols result tile (bf16 values
-     *        widened to float)
+     * drainTo() writes the rows x cols result tile (bf16 values widened
+     * to float) straight into caller storage with the given row stride
+     * — the fused pipeline drains directly into its output matrix. The
+     * Matrix overload shapes `out` to the live region first.
+     *
      * @return simd-mode cycles spent
      */
+    std::uint64_t drainTo(float *dst, std::size_t stride);
     std::uint64_t drain(Matrix &out);
 
     /** Zero all accumulators and forget the live region. */
@@ -235,13 +298,14 @@ class SystolicArray
                            FastFn fast);
 
     /** @name The cycle-stepped reference engine @{ */
-    std::uint64_t steppedMatmulTile(const Matrix &a, const Matrix &b);
+    std::uint64_t steppedMatmulTile(const TileOperand &a,
+                                    const TileOperand &b);
     std::uint64_t steppedSimdScalar(SimdOp op, float scalar);
-    std::uint64_t steppedSimdVector(SimdOp op, const Matrix &operand);
+    std::uint64_t steppedSimdVector(SimdOp op, const TileSpan &operand);
     std::uint64_t steppedSimdSpecial(SimdOp op);
 
     /** Advance the matmul wavefront by one cycle. */
-    void stepMatmulCycle(const Matrix &a, const Matrix &b,
+    void stepMatmulCycle(const TileOperand &a, const TileOperand &b,
                          std::uint64_t wavefront, std::size_t k_depth);
 
     /** Rotate the live region left one column, writing `results` into
@@ -250,9 +314,10 @@ class SystolicArray
     /** @} */
 
     /** @name The fast-forward engine @{ */
-    std::uint64_t fastMatmulTile(const Matrix &a, const Matrix &b);
+    std::uint64_t fastMatmulTile(const TileOperand &a,
+                                 const TileOperand &b);
     std::uint64_t fastSimdScalar(SimdOp op, float scalar);
-    std::uint64_t fastSimdVector(SimdOp op, const Matrix &operand);
+    std::uint64_t fastSimdVector(SimdOp op, const TileSpan &operand);
     std::uint64_t fastSimdSpecial(SimdOp op);
 
     /**
@@ -282,10 +347,6 @@ class SystolicArray
     std::vector<float> acc_;   ///< n*n fp32 accumulators
     Lane aReg_;                ///< eastward-flowing operand registers
     Lane bReg_;                ///< southward-flowing operand registers
-
-    /** Fast-path scratch: bf16-quantized operand tiles. */
-    std::vector<float> scratchA_;
-    std::vector<float> scratchB_;
 
     /**
      * Live (occupied) accumulator region. Grows as the bounding-box

@@ -1,0 +1,529 @@
+/**
+ * @file
+ * The SIMD kernel layer's bit-exactness contract: every compiled tier
+ * must produce results bit-identical to the scalar reference for every
+ * kernel, on randomized shapes (vector-width tails included), strides,
+ * and special values (+-0, +-Inf, NaN payloads, denormals). The
+ * denormal cases pin the AVX512-BF16 hardware-convert path, whose raw
+ * instruction is DAZ and must fall back to the emulation per chunk.
+ *
+ * Also covered: PROSE_SIMD spec parsing (strict and lenient flavors)
+ * and the pool-dispatch threshold observability counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+#include "numerics/bfloat16.hh"
+#include "numerics/float_bits.hh"
+#include "numerics/kernels/kernel_dispatch.hh"
+#include "numerics/matrix.hh"
+
+namespace prose {
+namespace {
+
+using kernels::KernelSet;
+using kernels::SimdTier;
+
+std::vector<SimdTier>
+availableTiers()
+{
+    std::vector<SimdTier> tiers;
+    for (SimdTier tier :
+         { SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512 }) {
+        if (kernels::simdTierAvailable(tier))
+            tiers.push_back(tier);
+    }
+    return tiers;
+}
+
+/** Draw a float mixing normals with the special values the bf16
+ *  conversions branch on. */
+float
+specialValue(Rng &rng)
+{
+    const double pick = rng.uniform(0.0, 1.0);
+    if (pick < 0.70)
+        return static_cast<float>(rng.gaussian(0.0, 4.0));
+    if (pick < 0.76)
+        return 0.0f;
+    if (pick < 0.80)
+        return -0.0f;
+    if (pick < 0.84)
+        return std::numeric_limits<float>::infinity();
+    if (pick < 0.88)
+        return -std::numeric_limits<float>::infinity();
+    if (pick < 0.92)
+        return std::numeric_limits<float>::quiet_NaN();
+    if (pick < 0.96) {
+        // Denormal fp32 (the AVX512-BF16 DAZ hazard).
+        return static_cast<float>(rng.uniform(0.0, 1.0)) * 1e-41f;
+    }
+    // Values straddling the bf16 rounding boundary.
+    return 1.0f + static_cast<float>(rng.uniform(0.0, 1.0)) * 0x1p-8f;
+}
+
+std::vector<float>
+specialVector(Rng &rng, std::size_t n)
+{
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = specialValue(rng);
+    return v;
+}
+
+std::vector<std::uint16_t>
+quantize(const std::vector<float> &v)
+{
+    std::vector<std::uint16_t> bits(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        bits[i] = Bfloat16::roundFromFloat(v[i]);
+    return bits;
+}
+
+/**
+ * Strict bit equality, except that any NaN matches any NaN: IEEE 754
+ * leaves payload selection to the operation (x86 propagates the first
+ * NaN *source operand*, and for the scalar tier that order is whatever
+ * the compiler emitted), so payload bits are explicitly outside the
+ * cross-tier contract. Where the reference makes a NaN, every tier
+ * must make a NaN — which NaN is unspecified.
+ */
+::testing::AssertionResult
+bitsIdentical(const std::vector<float> &a, const std::vector<float> &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure() << "size mismatch";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::isnan(a[i]) && std::isnan(b[i]))
+            continue;
+        if (!bitsEqual(a[i], b[i])) {
+            return ::testing::AssertionFailure()
+                   << "element " << i << ": " << a[i] << " vs " << b[i]
+                   << " (bits " << std::hex << floatBits(a[i]) << " vs "
+                   << floatBits(b[i]) << ")";
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Shapes chosen to cover full vector chunks, sub-width tails, and the
+ *  1-element degenerate case for 8/16-lane kernels. */
+constexpr std::size_t kLengths[] = { 1, 2, 7, 8, 9, 15, 16, 17,
+                                     31, 33, 64, 100, 257 };
+
+TEST(KernelDispatch, RowKernelsBitIdenticalAcrossTiers)
+{
+    const KernelSet &ref = kernels::kernelsForTier(SimdTier::Scalar);
+    for (SimdTier tier : availableTiers()) {
+        const KernelSet &ks = kernels::kernelsForTier(tier);
+        Rng rng(1234);
+        for (std::size_t n : kLengths) {
+            const std::vector<float> src = specialVector(rng, n);
+            const std::vector<float> acc0 = specialVector(rng, n);
+            const std::vector<std::uint16_t> bits = quantize(src);
+            const float av = specialValue(rng);
+
+            // macRowF32
+            std::vector<float> got = acc0, want = acc0;
+            ks.macRowF32(got.data(), src.data(), av, n);
+            ref.macRowF32(want.data(), src.data(), av, n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " macRowF32 n=" << n;
+
+            // macRowBf16
+            got = acc0;
+            want = acc0;
+            ks.macRowBf16(got.data(), bits.data(), av, n);
+            ref.macRowBf16(want.data(), bits.data(), av, n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " macRowBf16 n=" << n;
+
+            // quantizeBitsRow
+            std::vector<std::uint16_t> qgot(n), qwant(n);
+            ks.quantizeBitsRow(qgot.data(), src.data(), n);
+            ref.quantizeBitsRow(qwant.data(), src.data(), n);
+            EXPECT_EQ(qgot, qwant) << ks.name << " quantizeBitsRow n=" << n;
+
+            // widenRow
+            got.assign(n, 0.0f);
+            want.assign(n, 0.0f);
+            ks.widenRow(got.data(), bits.data(), n);
+            ref.widenRow(want.data(), bits.data(), n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " widenRow n=" << n;
+
+            // quantizeRoundtripRow (out-of-place and in-place)
+            got.assign(n, 0.0f);
+            want.assign(n, 0.0f);
+            ks.quantizeRoundtripRow(got.data(), src.data(), n);
+            ref.quantizeRoundtripRow(want.data(), src.data(), n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " quantizeRoundtripRow n=" << n;
+            std::vector<float> inplace = src;
+            ks.quantizeRoundtripRow(inplace.data(), inplace.data(), n);
+            EXPECT_TRUE(bitsIdentical(inplace, want))
+                << ks.name << " quantizeRoundtripRow in-place n=" << n;
+
+            // truncateRow
+            got.assign(n, 0.0f);
+            want.assign(n, 0.0f);
+            ks.truncateRow(got.data(), src.data(), n);
+            ref.truncateRow(want.data(), src.data(), n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " truncateRow n=" << n;
+
+            // SIMD-unit rows (scalar operand pre-quantized per contract)
+            const float q = quantizeBf16(av);
+            got = acc0;
+            want = acc0;
+            ks.simdMulScalarRow(got.data(), q, n);
+            ref.simdMulScalarRow(want.data(), q, n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " simdMulScalarRow n=" << n;
+
+            got = acc0;
+            want = acc0;
+            ks.simdAddScalarRow(got.data(), q, n);
+            ref.simdAddScalarRow(want.data(), q, n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " simdAddScalarRow n=" << n;
+
+            got = acc0;
+            want = acc0;
+            ks.simdMulVectorRow(got.data(), src.data(), n);
+            ref.simdMulVectorRow(want.data(), src.data(), n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " simdMulVectorRow n=" << n;
+
+            got = acc0;
+            want = acc0;
+            ks.simdAddVectorRow(got.data(), src.data(), n);
+            ref.simdAddVectorRow(want.data(), src.data(), n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " simdAddVectorRow n=" << n;
+
+            // scaleQuantizeRow
+            got = src;
+            want = src;
+            ks.scaleQuantizeRow(got.data(), av, n);
+            ref.scaleQuantizeRow(want.data(), av, n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " scaleQuantizeRow n=" << n;
+        }
+    }
+}
+
+TEST(KernelDispatch, GemmTileBitIdenticalAcrossTiersWithStrides)
+{
+    const KernelSet &ref = kernels::kernelsForTier(SimdTier::Scalar);
+    struct Shape
+    {
+        std::size_t rows, cols, depth;
+    };
+    // Tails below/above the 8/16/32/64-lane block widths, plus strided
+    // views (stride > cols) as the fsim tile loop produces them.
+    const Shape shapes[] = { { 1, 1, 1 },    { 3, 5, 7 },
+                             { 4, 16, 8 },   { 5, 17, 9 },
+                             { 8, 33, 16 },  { 2, 64, 12 },
+                             { 3, 65, 5 },   { 6, 128, 10 },
+                             { 7, 100, 23 } };
+    for (SimdTier tier : availableTiers()) {
+        const KernelSet &ks = kernels::kernelsForTier(tier);
+        Rng rng(99);
+        for (const Shape &s : shapes) {
+            const std::size_t aStride = s.depth + 3;
+            const std::size_t bStride = s.cols + 5;
+            const std::size_t cStride = s.cols + 2;
+            std::vector<std::uint16_t> a =
+                quantize(specialVector(rng, s.rows * aStride));
+            std::vector<std::uint16_t> b =
+                quantize(specialVector(rng, s.depth * bStride));
+            const std::vector<float> c0 =
+                specialVector(rng, s.rows * cStride);
+
+            std::vector<float> got = c0, want = c0;
+            ks.gemmTileBf16(got.data(), cStride, a.data(), aStride,
+                            b.data(), bStride, s.rows, s.cols, s.depth);
+            ref.gemmTileBf16(want.data(), cStride, a.data(), aStride,
+                             b.data(), bStride, s.rows, s.cols, s.depth);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " gemmTileBf16 " << s.rows << "x" << s.cols
+                << "x" << s.depth;
+        }
+    }
+}
+
+TEST(KernelDispatch, GemmTileF32BitIdenticalAcrossTiersWithStrides)
+{
+    const KernelSet &ref = kernels::kernelsForTier(SimdTier::Scalar);
+    struct Shape
+    {
+        std::size_t rows, cols, depth;
+    };
+    // Odd row counts exercise the register-blocked kernels' remainder
+    // row; tails below/above the 8/16/32/64-lane block widths and
+    // strided views exercise the column tails.
+    const Shape shapes[] = { { 1, 1, 1 },    { 3, 5, 7 },
+                             { 4, 16, 8 },   { 5, 17, 9 },
+                             { 8, 33, 16 },  { 2, 64, 12 },
+                             { 3, 65, 5 },   { 6, 128, 10 },
+                             { 7, 100, 23 } };
+    for (SimdTier tier : availableTiers()) {
+        const KernelSet &ks = kernels::kernelsForTier(tier);
+        Rng rng(1234);
+        for (const Shape &s : shapes) {
+            const std::size_t aStride = s.depth + 3;
+            const std::size_t bStride = s.cols + 5;
+            const std::size_t cStride = s.cols + 2;
+            const std::vector<float> a =
+                specialVector(rng, s.rows * aStride);
+            const std::vector<float> b =
+                specialVector(rng, s.depth * bStride);
+            const std::vector<float> c0 =
+                specialVector(rng, s.rows * cStride);
+
+            std::vector<float> got = c0, want = c0;
+            ks.gemmTileF32(got.data(), cStride, a.data(), aStride,
+                           b.data(), bStride, s.rows, s.cols, s.depth);
+            ref.gemmTileF32(want.data(), cStride, a.data(), aStride,
+                            b.data(), bStride, s.rows, s.cols, s.depth);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " gemmTileF32 " << s.rows << "x" << s.cols
+                << "x" << s.depth;
+        }
+    }
+}
+
+TEST(KernelDispatch, LutRowBitIdenticalAcrossTiers)
+{
+    // Exhaustive over the index domain: a flat activation table is
+    // addressed by the high 16 bits of each accumulator, so feed every
+    // one of the 65536 bf16 bit patterns through every tier (plus tail
+    // lengths below the gather width) and demand the exact table entry
+    // the scalar reference picks. Low-half bits are set nonzero to pin
+    // that they never leak into the index.
+    const KernelSet &ref = kernels::kernelsForTier(SimdTier::Scalar);
+    std::vector<std::uint32_t> table(65536);
+    for (std::size_t i = 0; i < table.size(); ++i)
+        table[i] = static_cast<std::uint32_t>(i) * 2654435761u;
+    std::vector<float> inputs(65536);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const std::uint32_t bits =
+            (static_cast<std::uint32_t>(i) << 16) | 0x1234u;
+        std::memcpy(&inputs[i], &bits, sizeof(float));
+    }
+    auto rawBits = [](const std::vector<float> &v) {
+        std::vector<std::uint32_t> bits(v.size());
+        std::memcpy(bits.data(), v.data(),
+                    v.size() * sizeof(std::uint32_t));
+        return bits;
+    };
+    for (SimdTier tier : availableTiers()) {
+        const KernelSet &ks = kernels::kernelsForTier(tier);
+        std::vector<float> got = inputs, want = inputs;
+        ks.lutRow(got.data(), table.data(), got.size());
+        ref.lutRow(want.data(), table.data(), want.size());
+        EXPECT_EQ(rawBits(got), rawBits(want))
+            << ks.name << " lutRow exhaustive";
+        for (std::size_t n : kLengths) {
+            got.assign(inputs.begin(),
+                       inputs.begin() + static_cast<std::ptrdiff_t>(n));
+            want = got;
+            ks.lutRow(got.data(), table.data(), n);
+            ref.lutRow(want.data(), table.data(), n);
+            EXPECT_EQ(rawBits(got), rawBits(want))
+                << ks.name << " lutRow n=" << n;
+        }
+    }
+}
+
+TEST(KernelDispatch, GemmTileDoesNotSkipZeroTimesInf)
+{
+    // The stepped engine MACs every valid element, so 0 * Inf must
+    // produce NaN in every tier — no zero-skip shortcuts.
+    for (SimdTier tier : availableTiers()) {
+        const KernelSet &ks = kernels::kernelsForTier(tier);
+        const std::uint16_t zero = Bfloat16::roundFromFloat(0.0f);
+        const std::uint16_t inf = Bfloat16::roundFromFloat(
+            std::numeric_limits<float>::infinity());
+        std::vector<float> acc(1, 0.0f);
+        ks.gemmTileBf16(acc.data(), 1, &zero, 1, &inf, 1, 1, 1, 1);
+        EXPECT_TRUE(std::isnan(acc[0]))
+            << ks.name << ": 0 * Inf must be NaN";
+
+        const float fzero = 0.0f;
+        const float finf = std::numeric_limits<float>::infinity();
+        acc[0] = 0.0f;
+        ks.gemmTileF32(acc.data(), 1, &fzero, 1, &finf, 1, 1, 1, 1);
+        EXPECT_TRUE(std::isnan(acc[0]))
+            << ks.name << ": fp32 0 * Inf must be NaN";
+    }
+}
+
+TEST(KernelDispatch, ActiveTierSwitchAndRestore)
+{
+    const SimdTier original = kernels::activeSimdTier();
+    for (SimdTier tier : availableTiers()) {
+        kernels::setActiveSimdTier(tier);
+        EXPECT_EQ(kernels::activeSimdTier(), tier);
+        EXPECT_STREQ(kernels::activeKernels().name,
+                     kernels::toString(tier));
+    }
+    kernels::setActiveSimdTier(original);
+    EXPECT_EQ(kernels::activeSimdTier(), original);
+}
+
+TEST(KernelDispatch, MatmulBf16BitIdenticalAcrossTiers)
+{
+    // End-to-end: the full bf16 matmul (arena + bits plane + pooled
+    // kernels) must agree bit-for-bit across every available tier.
+    const SimdTier original = kernels::activeSimdTier();
+    Rng rng(7);
+    Matrix a(13, 37);
+    Matrix b(37, 21);
+    a.fillGaussian(rng, 0.0f, 2.0f);
+    b.fillGaussian(rng, 0.0f, 2.0f);
+
+    kernels::setActiveSimdTier(SimdTier::Scalar);
+    const Matrix want = matmulBf16(a, b);
+    for (SimdTier tier : availableTiers()) {
+        kernels::setActiveSimdTier(tier);
+        const Matrix got = matmulBf16(a, b);
+        EXPECT_EQ(Matrix::maxAbsDiff(got, want), 0.0f)
+            << "tier " << kernels::toString(tier);
+    }
+    kernels::setActiveSimdTier(original);
+}
+
+TEST(KernelDispatch, MatmulF32BitIdenticalAcrossTiers)
+{
+    // End-to-end over the rewired fp32 tiled matmul (kKBlock/kJBlock
+    // blocking on top of gemmTileF32), including a non-finite B entry
+    // so the no-zero-skip contract is exercised through the public API.
+    const SimdTier original = kernels::activeSimdTier();
+    Rng rng(21);
+    Matrix a(13, 37);
+    Matrix b(37, 21);
+    a.fillGaussian(rng, 0.0f, 2.0f);
+    b.fillGaussian(rng, 0.0f, 2.0f);
+    a.at(2, 3) = 0.0f;
+    b.at(3, 4) = std::numeric_limits<float>::infinity();
+
+    kernels::setActiveSimdTier(SimdTier::Scalar);
+    const Matrix want = matmul(a, b);
+    for (SimdTier tier : availableTiers()) {
+        kernels::setActiveSimdTier(tier);
+        const Matrix got = matmul(a, b);
+        const float *gp = got.data();
+        const float *wp = want.data();
+        bool same = got.size() == want.size();
+        for (std::size_t i = 0; same && i < got.size(); ++i) {
+            if (std::isnan(gp[i]) && std::isnan(wp[i]))
+                continue;
+            same = bitsEqual(gp[i], wp[i]);
+        }
+        EXPECT_TRUE(same) << "tier " << kernels::toString(tier);
+    }
+    kernels::setActiveSimdTier(original);
+}
+
+TEST(KernelDispatchSpec, StrictParseAcceptsKnownTiers)
+{
+    EXPECT_EQ(kernels::parseSimdTier("scalar"), SimdTier::Scalar);
+    EXPECT_EQ(kernels::parseSimdTier("avx2"), SimdTier::Avx2);
+    EXPECT_EQ(kernels::parseSimdTier("avx512"), SimdTier::Avx512);
+    EXPECT_EQ(kernels::parseSimdTier("auto"), kernels::bestSimdTier());
+}
+
+using KernelDispatchSpecDeathTest = ::testing::Test;
+
+TEST(KernelDispatchSpecDeathTest, StrictParseRejectsUnknownTier)
+{
+    EXPECT_DEATH(kernels::parseSimdTier("sse9"), "unknown SIMD tier");
+    EXPECT_DEATH(kernels::parseSimdTier(""), "unknown SIMD tier");
+}
+
+TEST(KernelDispatchSpec, LenientSpecFallsBackToAuto)
+{
+    EXPECT_EQ(kernels::simdTierFromSpec(nullptr),
+              kernels::bestSimdTier());
+    EXPECT_EQ(kernels::simdTierFromSpec(""), kernels::bestSimdTier());
+    EXPECT_EQ(kernels::simdTierFromSpec("auto"),
+              kernels::bestSimdTier());
+    // Unknown names warn (not fatal) and fall back — environment input
+    // must never kill a run.
+    EXPECT_EQ(kernels::simdTierFromSpec("turbo9000"),
+              kernels::bestSimdTier());
+    EXPECT_EQ(kernels::simdTierFromSpec("scalar"), SimdTier::Scalar);
+}
+
+TEST(KernelDispatchSpec, TierNamesRoundTrip)
+{
+    for (SimdTier tier :
+         { SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512 })
+        EXPECT_EQ(kernels::parseSimdTier(kernels::toString(tier)), tier);
+}
+
+TEST(KernelDispatchSpec, ScalarAlwaysAvailable)
+{
+    EXPECT_TRUE(kernels::simdTierAvailable(SimdTier::Scalar));
+    // bestSimdTier must itself be runnable.
+    EXPECT_TRUE(kernels::simdTierAvailable(kernels::bestSimdTier()));
+}
+
+TEST(MatmulPoolThreshold, SmallShapesStaySerialLargeShapesDispatch)
+{
+    // Threshold semantics are observable through the pool's dispatch
+    // counter: a 128^3 GEMM (2M MACs, under the 2^21-per-lane floor on
+    // 4 lanes) must run inline, a 512^3 one (134M MACs) must fan out
+    // when lanes are available.
+    ThreadPool pool(4);
+    ThreadPool::setGlobalOverride(&pool);
+
+    Rng rng(11);
+    Matrix small_a(128, 128), small_b(128, 128);
+    small_a.fillGaussian(rng, 0.0f, 1.0f);
+    small_b.fillGaussian(rng, 0.0f, 1.0f);
+    const std::uint64_t before_small = ThreadPool::dispatchCount();
+    matmul(small_a, small_b);
+    EXPECT_EQ(ThreadPool::dispatchCount(), before_small)
+        << "128^3 is below the per-lane MAC floor and must not pay "
+           "pool dispatch";
+
+    Matrix big_a(512, 512), big_b(512, 512);
+    big_a.fillGaussian(rng, 0.0f, 1.0f);
+    big_b.fillGaussian(rng, 0.0f, 1.0f);
+    const std::uint64_t before_big = ThreadPool::dispatchCount();
+    matmul(big_a, big_b);
+    EXPECT_GT(ThreadPool::dispatchCount(), before_big)
+        << "512^3 clears the per-lane MAC floor on 4 lanes and must "
+           "fan out";
+
+    ThreadPool::setGlobalOverride(nullptr);
+}
+
+TEST(MatmulPoolThreshold, SerialPoolNeverDispatches)
+{
+    // With one lane the threshold is moot: nothing may reach the pool.
+    ThreadPool pool(1);
+    ThreadPool::setGlobalOverride(&pool);
+    Rng rng(12);
+    Matrix a(256, 256), b(256, 256);
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    b.fillGaussian(rng, 0.0f, 1.0f);
+    const std::uint64_t before = ThreadPool::dispatchCount();
+    matmul(a, b);
+    matmulBf16(a, b);
+    EXPECT_EQ(ThreadPool::dispatchCount(), before);
+    ThreadPool::setGlobalOverride(nullptr);
+}
+
+} // namespace
+} // namespace prose

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "numerics/activations.hh"
 #include "numerics/bfloat16.hh"
@@ -154,6 +157,28 @@ TEST(Lut, InfinityTakesAboveWindowPath)
     const Bfloat16 neg_inf = Bfloat16::fromBits(0xff80);
     EXPECT_TRUE(gelu.lookup(pos_inf).isInf());
     EXPECT_EQ(gelu.lookup(neg_inf).toFloat(), 0.0f);
+}
+
+TEST(Lut, FlattenMatchesLookupExhaustively)
+{
+    // The flat gather table the fast SIMD wavefront uses must agree
+    // with the hardware-faithful two-level lookup on every one of the
+    // 65536 bf16 input patterns (NaNs, denormals, and both window
+    // boundaries included) — bit-for-bit on the widened fp32 output.
+    for (const TwoLevelLut &lut :
+         { TwoLevelLut::makeGelu(), TwoLevelLut::makeExp() }) {
+        const std::vector<std::uint32_t> flat = lut.flattenToFloatBits();
+        ASSERT_EQ(flat.size(), 65536u);
+        for (std::uint32_t bits = 0; bits < 65536u; ++bits) {
+            const float want =
+                lut.lookup(Bfloat16::fromBits(
+                               static_cast<std::uint16_t>(bits)))
+                    .toFloat();
+            std::uint32_t want_bits;
+            std::memcpy(&want_bits, &want, sizeof(want_bits));
+            ASSERT_EQ(flat[bits], want_bits) << "pattern " << bits;
+        }
+    }
 }
 
 TEST(Lut, OneLookupTouchesSingleSegment)
