@@ -266,16 +266,22 @@ main(int argc, char **argv)
     // --- Pool crossover: where dispatch starts to pay -----------------
     {
         // matmul() keeps shapes below kMinMacsPerLane MACs per lane
-        // inline (the len128_b1 pooled regression was pure dispatch
-        // overhead); these n^3 cubes straddle that threshold so the
-        // recorded serial-vs-pooled medians document the crossover. A
-        // fixed 4-lane override pool keeps the per-lane floor — and so
-        // the set of shapes that actually dispatch — independent of the
-        // host core count.
+        // inline (the recorded len128_b1 pooled loss is what pushed the
+        // floor to 2^25 — see shouldPool() in numerics/matrix.cc);
+        // these n^3 cubes straddle that threshold so the recorded
+        // serial-vs-pooled medians document the crossover. A fixed
+        // 4-lane override pool keeps the per-lane floor — and so the
+        // set of shapes that actually dispatch — independent of the
+        // host core count. On four lanes the boundary sits at exactly
+        // n = 512 (512^3 == 4 * 2^25); n640 is the first comfortably
+        // dispatching cube.
         std::vector<std::size_t> cutoff_ns = { 96, 128 };
         if (!quick) {
             cutoff_ns.push_back(192);
             cutoff_ns.push_back(256);
+            cutoff_ns.push_back(384);
+            cutoff_ns.push_back(512);
+            cutoff_ns.push_back(640);
         }
         ThreadPool cutoff_pool(4);
         for (const std::size_t n : cutoff_ns) {

@@ -51,6 +51,17 @@ class FaultInjector
                                     std::size_t stride, std::size_t rows,
                                     std::size_t cols);
 
+    /**
+     * True when corruptAccumulators(site, ...) could draw from the RNG
+     * or corrupt a cell at this site: the campaign sets a transient
+     * accumulator flip rate (site-independent) or schedules a stuck bit
+     * whose site matches. Const and RNG-free, so the systolic layer can
+     * consult it per tile: an unarmed site keeps the diagonal-batched
+     * stepped path, an armed one falls back to the scalar PE walk
+     * (docs/FAULT_MODEL.md replay contract).
+     */
+    bool armsAccumulators(const std::string &site) const;
+
     /** Outcome of one link transfer attempt. */
     struct LinkOutcome
     {

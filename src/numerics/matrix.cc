@@ -86,13 +86,20 @@ constexpr std::size_t kJBlock = 64;
 
 /**
  * Minimum MACs *per pool lane* before parallel dispatch pays for
- * itself. Below it the wakeup/handoff latency and the cold-cache
- * restart of each lane outweigh the split: ~2M MACs is roughly a
- * millisecond of single-lane SIMD work, comfortably above the
- * pool's dispatch cost. bench/perf_regression's matmul_cutoff_*
- * section times both sides of the boundary.
+ * itself. The floor is not about wakeup latency (that is microseconds)
+ * but about the shared memory system: every lane re-streams the whole
+ * B operand, so small and mid-size pooled GEMMs contend for the same
+ * cache/bandwidth that one lane would have to itself. The committed
+ * bench/perf_regression matmul_cutoff_* crossover record bears that
+ * out — the pooled side's only win (n256, 2^22 MACs/lane on the fixed
+ * 4-lane pool) is a ~5% edge inside runner noise, while
+ * matmul_fp32_pooled_len128_b1 (128x768x768, ~18.9M MACs/lane on four
+ * lanes) recorded an outright loss to its serial twin. The floor
+ * therefore sits above that losing shape: 2^25 MACs/lane (~2.5 ms of
+ * single-lane SIMD work) keeps b1/len128-class GEMMs inline and only
+ * fans out work large enough for the split to survive the contention.
  */
-constexpr std::size_t kMinMacsPerLane = std::size_t{ 1 } << 21;
+constexpr std::size_t kMinMacsPerLane = std::size_t{ 1 } << 25;
 
 /** True when `macs` of matmul work should fan out to the pool. */
 bool

@@ -73,22 +73,21 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
     std::uint16_t *qb = arena.alloc<std::uint16_t>(b.size());
     ks.quantizeBitsRow(qb, b.data(), b.size());
 
-    // For the fast engine, pre-widen the quantized planes back to fp32
-    // (exact: bits << 16) so every tile visit runs the pure fp32 GEMM
-    // core instead of re-widening its panels into kernel scratch — the
-    // A panel alone would otherwise be re-widened once per column tile.
-    // A is widened in place as one contiguous plane; B is compacted one
-    // column panel at a time (below), because the core would otherwise
-    // stride through the full row pitch and thrash the DTLB on wide
-    // operands. The stepped engine reads the bf16 planes and ignores
-    // these.
-    float *wa = nullptr;
-    float *wpb = nullptr;
-    if (mode_ != FsimMode::Stepped) {
-        wa = arena.alloc<float>(a.size());
-        ks.widenRow(wa, qa, a.size());
-        wpb = arena.alloc<float>(k * std::min(s, n));
-    }
+    // Pre-widen the quantized planes back to fp32 (exact: bits << 16)
+    // so every tile visit runs on pure fp32 planes instead of
+    // re-widening its panels into per-tile scratch — the A panel alone
+    // would otherwise be re-widened once per column tile. A is widened
+    // in place as one contiguous plane; B is compacted one column panel
+    // at a time (below), because the fast engine's GEMM core would
+    // otherwise stride through the full row pitch and thrash the DTLB
+    // on wide operands. Both engines consume these: the fast GEMM core
+    // directly, the diagonal-batched stepped engine through its
+    // transposed/reversed wavefront planes. Only the scalar PE walk
+    // (armed fault site, non-uniform fill) ignores them, and its tiles
+    // are dominated by the O(dim^2) register sweeps anyway.
+    float *wa = arena.alloc<float>(a.size());
+    ks.widenRow(wa, qa, a.size());
+    float *wpb = arena.alloc<float>(k * std::min(s, n));
 
     // Column tiles outer, row tiles inner: the B column panel (k x s)
     // is touched by every row tile, so walking tn in the outer loop
@@ -101,12 +100,10 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
     Matrix c(m, n);
     for (std::size_t tn = 0; tn < n; tn += s) {
         const std::size_t cols = std::min(s, n - tn);
-        if (wpb) {
-            // Compact-widen this B column panel once; every row tile
-            // below reuses it.
-            for (std::size_t r = 0; r < k; ++r)
-                ks.widenRow(wpb + r * cols, qb + r * n + tn, cols);
-        }
+        // Compact-widen this B column panel once; every row tile below
+        // reuses it.
+        for (std::size_t r = 0; r < k; ++r)
+            ks.widenRow(wpb + r * cols, qb + r * n + tn, cols);
         const TileOperand b_view{ b.data() + tn,  n, qb + tn, n,
                                   k,              cols,
                                   wpb,            cols };
@@ -114,7 +111,7 @@ FunctionalSimulator::runFused(SystolicArray &array, const Matrix &a,
             const std::size_t rows = std::min(s, m - tm);
             const TileOperand a_view{ a.row(tm),   k, qa + tm * k, k,
                                       rows,        k,
-                                      wa ? wa + tm * k : nullptr, k };
+                                      wa + tm * k, k };
 
             // Stream the full-k tile product into the accumulators.
             array.matmulTile(a_view, b_view);

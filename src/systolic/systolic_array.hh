@@ -31,7 +31,17 @@
  * every operation can run on either of two engines that produce
  * bit-identical register files and identical cycle/stall/MAC counters:
  *
- *  - stepped: the reference wavefront machine above, O(dim^2) per cycle.
+ *  - stepped: the reference wavefront machine above. The PEs active at
+ *    wavefront w form one anti-diagonal (i + j + k' == w), and PEs on a
+ *    diagonal never depend on each other within a cycle, so the default
+ *    stepped path evaluates each diagonal's MACs as contiguous
+ *    structure-of-arrays planes through the kernel layer and elides the
+ *    per-cycle register sweeps entirely (diagonal batching, bit- and
+ *    counter-identical to the scalar PE walk by construction). The
+ *    O(dim^2)-per-cycle scalar walk remains as the per-tile fallback
+ *    whenever the fault injector is armed for this array's site or a
+ *    fill profile is non-uniform — fault replay always sees the
+ *    reference machine.
  *  - fast-forward: PE(i, j) receives A(i, k') and B(k', j) together at
  *    wavefront k' + i + j, so its MAC order is ascending k' — a plain
  *    fp32 dot product of the bf16-quantized operands. Cycle and buffer
@@ -232,6 +242,20 @@ class SystolicArray
     FsimMode mode() const { return mode_; }
 
     /**
+     * Enable/disable the diagonal-batched stepped matmul path (default
+     * on). With batching off every stepped tile runs the scalar PE
+     * walk — the reference machine the randomized differential tests
+     * compare the batched path against.
+     */
+    void setDiagonalBatching(bool enabled)
+    {
+        diagonalBatching_ = enabled;
+    }
+
+    /** True while the diagonal-batched stepped path is enabled. */
+    bool diagonalBatching() const { return diagonalBatching_; }
+
+    /**
      * The engine the next operation will actually use: Stepped whenever
      * a fault injector is attached or either stream buffer has a
      * non-uniform fill profile (no closed form, and Validate's dual run
@@ -298,8 +322,31 @@ class SystolicArray
                            FastFn fast);
 
     /** @name The cycle-stepped reference engine @{ */
+
+    /**
+     * Stepped matmul dispatcher: the diagonal-batched path unless this
+     * tile needs the scalar PE walk (batching disabled, the injector is
+     * armed for this array's site, or a fill profile is non-uniform).
+     */
     std::uint64_t steppedMatmulTile(const TileOperand &a,
                                     const TileOperand &b);
+
+    /** The O(dim^2)-per-cycle scalar PE walk (the reference machine). */
+    std::uint64_t scalarSteppedMatmulTile(const TileOperand &a,
+                                          const TileOperand &b);
+
+    /**
+     * The diagonal-batched stepped engine: gathers the PE state touched
+     * by each anti-diagonal into contiguous arena SoA planes, runs each
+     * diagonal's independent MACs through the kernel layer in
+     * ascending-k' order per accumulator, and elides the idle register
+     * sweeps by advancing cycle/consume counters through the shared
+     * stream-buffer gating. Bit- and counter-identical to the scalar
+     * walk (docs/MICROARCHITECTURE.md §9).
+     */
+    std::uint64_t diagonalSteppedMatmulTile(const TileOperand &a,
+                                            const TileOperand &b);
+
     std::uint64_t steppedSimdScalar(SimdOp op, float scalar);
     std::uint64_t steppedSimdVector(SimdOp op, const TileSpan &operand);
     std::uint64_t steppedSimdSpecial(SimdOp op);
@@ -325,7 +372,10 @@ class SystolicArray
      * closed form when both buffers have ideal supply, otherwise an
      * O(1)-per-cycle replay of the gate recurrence (bit-equal to the
      * stepped loop because it performs the identical sequence of
-     * occupancy operations).
+     * occupancy operations). Shared by the fast engine and the
+     * diagonal-batched stepped path — it is the idle-cycle elision:
+     * with ideal supply no cycle is visited at all, and under
+     * fractional rates only the O(1) gate survives per cycle.
      */
     std::uint64_t fastForwardMatmulGating(std::size_t rows,
                                           std::size_t cols,
@@ -343,6 +393,7 @@ class SystolicArray
     TwoLevelLut geluLut_;
     TwoLevelLut expLut_;
     FsimMode mode_ = defaultFsimMode();
+    bool diagonalBatching_ = true;
 
     std::vector<float> acc_;   ///< n*n fp32 accumulators
     Lane aReg_;                ///< eastward-flowing operand registers

@@ -145,6 +145,15 @@ TEST(KernelDispatch, RowKernelsBitIdenticalAcrossTiers)
             EXPECT_TRUE(bitsIdentical(got, want))
                 << ks.name << " macRowBf16 n=" << n;
 
+            // mulAccRowF32 (the diagonal-batched wavefront sweep)
+            const std::vector<float> src2 = specialVector(rng, n);
+            got = acc0;
+            want = acc0;
+            ks.mulAccRowF32(got.data(), src.data(), src2.data(), n);
+            ref.mulAccRowF32(want.data(), src.data(), src2.data(), n);
+            EXPECT_TRUE(bitsIdentical(got, want))
+                << ks.name << " mulAccRowF32 n=" << n;
+
             // quantizeBitsRow
             std::vector<std::uint16_t> qgot(n), qwant(n);
             ks.quantizeBitsRow(qgot.data(), src.data(), n);
@@ -481,29 +490,32 @@ TEST(KernelDispatchSpec, ScalarAlwaysAvailable)
 TEST(MatmulPoolThreshold, SmallShapesStaySerialLargeShapesDispatch)
 {
     // Threshold semantics are observable through the pool's dispatch
-    // counter: a 128^3 GEMM (2M MACs, under the 2^21-per-lane floor on
-    // 4 lanes) must run inline, a 512^3 one (134M MACs) must fan out
-    // when lanes are available.
+    // counter: a 128x768x768 GEMM (75.5M MACs, under the 2^25-per-lane
+    // floor on 4 lanes — the bench shape whose pooled twin recorded a
+    // loss to serial) must run inline, a 640^3 one (262M MACs, ~65.5M
+    // per lane) must fan out when lanes are available. (512^3 would sit
+    // exactly on the 4-lane boundary — 134,217,728 == 4 * 2^25 — so the
+    // dispatching shape is chosen comfortably above it.)
     ThreadPool pool(4);
     ThreadPool::setGlobalOverride(&pool);
 
     Rng rng(11);
-    Matrix small_a(128, 128), small_b(128, 128);
+    Matrix small_a(128, 768), small_b(768, 768);
     small_a.fillGaussian(rng, 0.0f, 1.0f);
     small_b.fillGaussian(rng, 0.0f, 1.0f);
     const std::uint64_t before_small = ThreadPool::dispatchCount();
     matmul(small_a, small_b);
     EXPECT_EQ(ThreadPool::dispatchCount(), before_small)
-        << "128^3 is below the per-lane MAC floor and must not pay "
-           "pool dispatch";
+        << "128x768x768 is below the per-lane MAC floor and must not "
+           "pay pool dispatch";
 
-    Matrix big_a(512, 512), big_b(512, 512);
+    Matrix big_a(640, 640), big_b(640, 640);
     big_a.fillGaussian(rng, 0.0f, 1.0f);
     big_b.fillGaussian(rng, 0.0f, 1.0f);
     const std::uint64_t before_big = ThreadPool::dispatchCount();
     matmul(big_a, big_b);
     EXPECT_GT(ThreadPool::dispatchCount(), before_big)
-        << "512^3 clears the per-lane MAC floor on 4 lanes and must "
+        << "640^3 clears the per-lane MAC floor on 4 lanes and must "
            "fan out";
 
     ThreadPool::setGlobalOverride(nullptr);
