@@ -11,11 +11,12 @@
  *
  * Usage: perf_regression [--quick] [--repeats N] [--out PATH]
  *   --quick    small shapes, few repeats (the CI smoke configuration)
- *   --repeats  maximum repeats per bench (default 5). Sampling is
- *              time-budgeted: every bench gets at least three samples
- *              (so medians and p10/p90 are never a single measurement),
- *              and fast benches keep sampling up to the maximum until
- *              the per-bench wall-clock budget is spent.
+ *   --repeats  maximum repeats per bench (default 8). Sampling is
+ *              time-budgeted: every bench runs one untimed warmup
+ *              iteration, then gets at least five samples (so medians
+ *              and p10/p90 are never a near-single measurement), and
+ *              fast benches keep sampling up to the maximum until the
+ *              per-bench wall-clock budget is spent.
  *   --out      output JSON path (default BENCH_perf.json in the CWD)
  */
 
@@ -58,16 +59,19 @@ struct BenchResult
 };
 
 /** Floor on samples per bench: percentiles from fewer are noise. */
-constexpr std::size_t kMinRepeats = 3;
+constexpr std::size_t kMinRepeats = 5;
 /** Per-bench sampling budget; slow benches stop at the floor. */
 constexpr double kBenchBudgetMs = 2500.0;
 
 /**
- * Time-budgeted sampling: run fn until the sample floor (kMinRepeats)
- * is met, then keep sampling until either `max_repeats` samples exist
- * or the wall-clock budget is spent. Replaces the old fixed
- * "big shapes run once" reductions, which recorded repeats: 1 entries
- * whose medians were single unstable measurements.
+ * Time-budgeted sampling: one untimed warmup call (first-touch page
+ * faults, pool spin-up, and cold caches land there instead of in the
+ * first sample — the warmup-less sampler recorded p90s dominated by
+ * that first iteration), then run fn until the sample floor
+ * (kMinRepeats) is met, then keep sampling until either `max_repeats`
+ * samples exist or the wall-clock budget is spent. Replaces the old
+ * fixed "big shapes run once" reductions, which recorded repeats: 1
+ * entries whose medians were single unstable measurements.
  */
 template <typename Fn>
 BenchResult
@@ -75,6 +79,7 @@ timeBench(const std::string &name, std::size_t max_repeats, Fn &&fn)
 {
     std::vector<double> samples;
     samples.reserve(std::max(max_repeats, kMinRepeats));
+    fn(); // warmup, never recorded
     double total_ms = 0.0;
     while (samples.size() < kMinRepeats ||
            (samples.size() < max_repeats && total_ms < kBenchBudgetMs)) {
@@ -204,7 +209,7 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
-    std::size_t repeats = 5;
+    std::size_t repeats = 8;
     std::string out_path = "BENCH_perf.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -223,7 +228,7 @@ main(int argc, char **argv)
         }
     }
     if (quick)
-        repeats = std::min<std::size_t>(repeats, 3);
+        repeats = std::min(repeats, kMinRepeats);
 
     const unsigned threads = ThreadPool::global().parallelism();
     std::cout << "perf_regression: " << threads << " pool lane(s), "
@@ -397,6 +402,63 @@ main(int argc, char **argv)
                       << " h=" << shape.hidden
                       << "): " << Table::fmt(fsim_layer_speedup, 1)
                       << "x\n\n";
+        }
+    }
+
+    // --- Link layer: streaming, compression, contention ---------------
+    {
+        // The streaming/contention scheduler added to the PerfSim link
+        // layer runs inside every sweep and every serve drill, so its
+        // host cost is gated here: one PerfSim pass per streaming mode
+        // (identical task streams, only the link math differs — the
+        // three medians should sit on top of each other), plus a
+        // two-tenant shared-link pass whose scheduler does strictly
+        // more bookkeeping per dispatch.
+        const BertShape link_shape{ 12, 768, 12, 3072,
+                                    quick ? 1ull : 4ull, 512 };
+        auto link_config = [](StreamMode mode) {
+            ProseConfig config = ProseConfig::bestPerf();
+            config.link = LinkSpec::nvlink2At80();
+            config.streaming.mode = mode;
+            return config;
+        };
+        const struct
+        {
+            const char *name;
+            StreamMode mode;
+        } stream_benches[] = {
+            { "link_stream_serialized", StreamMode::Serialized },
+            { "link_stream_double_buffered", StreamMode::DoubleBuffered },
+            { "link_stream_ideal", StreamMode::Ideal },
+        };
+        for (const auto &bench : stream_benches) {
+            const ProseConfig config = link_config(bench.mode);
+            results.push_back(timeBench(bench.name, repeats, [&] {
+                volatile double sink =
+                    PerfSim(config).run(link_shape).makespan;
+                (void)sink;
+            }));
+        }
+        {
+            ProseConfig config = link_config(StreamMode::DoubleBuffered);
+            config.link.compression = LinkCompression::ZeroRun;
+            results.push_back(
+                timeBench("link_compress_zero_run", repeats, [&] {
+                    volatile double sink =
+                        PerfSim(config).run(link_shape).makespan;
+                    (void)sink;
+                }));
+        }
+        {
+            const ProseConfig config =
+                link_config(StreamMode::DoubleBuffered);
+            const std::vector<BertShape> tenants(2, link_shape);
+            results.push_back(
+                timeBench("link_contention_2tenant", repeats, [&] {
+                    volatile double sink =
+                        PerfSim(config).runShared(tenants).makespan;
+                    (void)sink;
+                }));
         }
     }
 

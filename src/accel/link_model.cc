@@ -1,10 +1,117 @@
 #include "link_model.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
 
 namespace prose {
+
+namespace {
+
+/** Mean zero-run length (bf16 words) the ZeroRun encoder assumes. */
+constexpr double kZeroRunWords = 16.0;
+/** Per-word framing overhead: one tag bit per 16-bit word. */
+constexpr double kTagBitOverhead = 1.0 / 16.0;
+/** Per-block header overhead of the Delta encoder (1 byte / 64 words). */
+constexpr double kDeltaHeaderOverhead = 1.0 / 128.0;
+
+} // namespace
+
+const char *
+toString(StreamMode mode)
+{
+    switch (mode) {
+      case StreamMode::Serialized:
+        return "serialized";
+      case StreamMode::DoubleBuffered:
+        return "double-buffered";
+      case StreamMode::Ideal:
+        return "ideal";
+    }
+    return "?";
+}
+
+const char *
+toString(LinkCompression compression)
+{
+    switch (compression) {
+      case LinkCompression::None:
+        return "none";
+      case LinkCompression::ZeroRun:
+        return "zero-run";
+      case LinkCompression::Delta:
+        return "delta";
+    }
+    return "?";
+}
+
+void
+StreamSpec::validate() const
+{
+    PROSE_ASSERT(bufferDepth >= 1, "stream buffer depth must be >= 1");
+    PROSE_ASSERT(mode != StreamMode::DoubleBuffered || bufferDepth >= 2,
+                 "double buffering needs at least two buffers per "
+                 "direction (got ", bufferDepth, ")");
+}
+
+std::string
+StreamSpec::describe() const
+{
+    std::ostringstream os;
+    os << toString(mode);
+    if (mode == StreamMode::DoubleBuffered)
+        os << "x" << bufferDepth;
+    return os.str();
+}
+
+double
+LinkSpec::compressionRatio() const
+{
+    double ratio = 1.0;
+    switch (compression) {
+      case LinkCompression::None:
+        return 1.0;
+      case LinkCompression::ZeroRun:
+        // Nonzero words verbatim; zero words collapse into one 2-byte
+        // run token per mean run; one tag bit per word of framing.
+        ratio = (1.0 - zeroFraction) + zeroFraction / kZeroRunWords +
+                kTagBitOverhead;
+        break;
+      case LinkCompression::Delta:
+        // Hit words send only their low byte; misses go verbatim; one
+        // header byte per 64-word block.
+        ratio = (1.0 - deltaHitFraction) + deltaHitFraction / 2.0 +
+                kDeltaHeaderOverhead;
+        break;
+    }
+    // Real encoders keep a passthrough frame, so modeled compression
+    // never expands the payload.
+    return std::min(ratio, 1.0);
+}
+
+std::uint64_t
+LinkSpec::wireBytes(std::uint64_t logical_bytes) const
+{
+    if (compression == LinkCompression::None || logical_bytes == 0)
+        return logical_bytes;
+    const double wire =
+        std::ceil(static_cast<double>(logical_bytes) * compressionRatio());
+    return std::min(logical_bytes,
+                    static_cast<std::uint64_t>(wire));
+}
+
+void
+LinkSpec::validate() const
+{
+    PROSE_ASSERT(lanes > 0, "link needs at least one lane");
+    PROSE_ASSERT(totalBytesPerSecond > 0.0, "non-positive link bandwidth");
+    PROSE_ASSERT(zeroFraction >= 0.0 && zeroFraction <= 1.0,
+                 "zeroFraction must be in [0, 1]");
+    PROSE_ASSERT(deltaHitFraction >= 0.0 && deltaHitFraction <= 1.0,
+                 "deltaHitFraction must be in [0, 1]");
+}
 
 LinkSpec
 LinkSpec::nvlink2At80()
@@ -57,7 +164,11 @@ LinkSpec::describe() const
     std::ostringstream os;
     os << name << " (" << totalBytesPerSecond / gbps(1.0) << " GB/s, "
        << lanes << " lanes, timeout " << timeoutDetectSeconds * 1e6
-       << " us)";
+       << " us";
+    if (compression != LinkCompression::None)
+        os << ", " << toString(compression) << " ratio "
+           << compressionRatio();
+    os << ")";
     return os.str();
 }
 

@@ -20,6 +20,61 @@
 
 namespace prose {
 
+/**
+ * How a task's transfers overlap with its compute (docs/LINK_MODEL.md).
+ */
+enum class StreamMode : std::uint8_t
+{
+    /** Pessimistic bound: stream-in, compute, stream-out in series. */
+    Serialized,
+    /**
+     * Per-array-type prefetch queues stream the next tile while the
+     * current one computes: steady state runs at the slowest stage,
+     * plus a fill/drain ramp of one chunk per non-bounding stage.
+     */
+    DoubleBuffered,
+    /** Infinite buffering reference: max(compute, in, out) exactly. */
+    Ideal,
+};
+
+const char *toString(StreamMode mode);
+
+/** Streaming/DMA knobs of one ProSE instance (docs/LINK_MODEL.md). */
+struct StreamSpec
+{
+    StreamMode mode = StreamMode::DoubleBuffered;
+
+    /**
+     * Chunks resident per direction in the per-type prefetch queue.
+     * Depth does not change an uncontended task's duration (steady
+     * state is stage-bound either way); it bounds how much shared-link
+     * arbitration jitter the prefetcher can hide before the array
+     * stalls: up to (depth - 1) chunk-compute times.
+     */
+    std::uint32_t bufferDepth = 2;
+
+    /** Panics on inconsistent knobs (depth 0, double-buffer depth 1). */
+    void validate() const;
+
+    std::string describe() const;
+};
+
+/**
+ * On-link payload encoding. Both schemes are modeled (closed-form wire
+ * bytes), never functional: the simulated values are untouched, only
+ * the modeled transfer time shrinks. See docs/LINK_MODEL.md for the
+ * byte model and LinkSpec::zeroFraction / deltaHitFraction for the
+ * workload statistics that parameterize it.
+ */
+enum class LinkCompression : std::uint8_t
+{
+    None,    ///< raw bf16 words
+    ZeroRun, ///< zero words collapse into run tokens (zero-skip reuse)
+    Delta,   ///< words sharing the predecessor's high byte send 1 byte
+};
+
+const char *toString(LinkCompression compression);
+
 /** One host-accelerator link. */
 struct LinkSpec
 {
@@ -34,11 +89,43 @@ struct LinkSpec
      */
     double timeoutDetectSeconds = 50e-6;
 
+    /** @name On-link compression model @{ */
+    LinkCompression compression = LinkCompression::None;
+    /** Share of streamed bf16 words that quantize to +-0 (ZeroRun) —
+     *  the sparsity the matmul zero-skip fast path exploits, showing
+     *  up again on the wire. A workload statistic, swept by the DSE;
+     *  the default is a conservative quarter. */
+    double zeroFraction = 0.25;
+    /** Share of words whose high byte (sign + exponent + mantissa MSB)
+     *  matches their predecessor's (Delta). */
+    double deltaHitFraction = 0.5;
+    /** @} */
+
     /** Bandwidth of one lane. */
     double laneBytesPerSecond() const
     {
         return totalBytesPerSecond / lanes;
     }
+
+    /**
+     * The compute-bound limit: stream times are treated as exactly
+     * zero, which is what keeps the infinite-link point bit-identical
+     * across every StreamMode (docs/LINK_MODEL.md).
+     */
+    bool isInfinite() const { return totalBytesPerSecond >= 1e17; }
+
+    /**
+     * Modeled wire bytes for a logical payload under this link's
+     * compression. Deterministic closed form; never exceeds the
+     * logical size (encoders fall back to passthrough framing).
+     */
+    std::uint64_t wireBytes(std::uint64_t logical_bytes) const;
+
+    /** wire/logical ratio of the closed-form model (1.0 for None). */
+    double compressionRatio() const;
+
+    /** Panics on out-of-range compression statistics. */
+    void validate() const;
 
     /** One-line human-readable summary. */
     std::string describe() const;

@@ -15,10 +15,13 @@
  *    aggregate rate of its arrays (this is what makes many small
  *    arrays deliver their aggregate SIMD-ALU advantage);
  *  - a host-accelerator communication model: a task streams over its
- *    type's statically-partitioned lane share; its duration is the
- *    maximum of pooled compute time and stream-in/stream-out times
- *    (the Dataflow 3 host-softmax trip blocks only the issuing
- *    thread);
+ *    type's statically-partitioned lane share through the configured
+ *    StreamSpec (serialized, double-buffered DMA with tile-granular
+ *    fill/drain ramps, or the ideal-overlap reference) with optional
+ *    on-link compression, and — under runShared() — arbitrates with
+ *    other tenants for the shared per-type channels
+ *    (docs/LINK_MODEL.md; the Dataflow 3 host-softmax trip blocks
+ *    only the issuing thread);
  *  - a host-compute model for softmax sum/divide and Other-class ops.
  *
  * Per-task cycle counts come from the closed-form TimingModel, which is
@@ -43,6 +46,7 @@ namespace prose {
 /** One scheduled task occurrence (for Gantt-style reporting). */
 struct ScheduledItem
 {
+    std::uint32_t tenant = 0; ///< runShared tenant index (0 otherwise)
     std::uint32_t thread = 0;
     DataflowKind kind = DataflowKind::Host;
     Sublayer sublayer = Sublayer::Embedding;
@@ -72,6 +76,27 @@ struct SimReport
     std::array<double, 3> typeBusySeconds{ { 0.0, 0.0, 0.0 } };
     /** Instance count per array type. */
     std::array<std::uint32_t, 3> typeCounts{ { 0, 0, 0 } };
+
+    /** @name Link streaming accounting (docs/LINK_MODEL.md) @{ */
+    /** Post-compression traffic actually on the wire. Equals
+     *  bytesIn/bytesOut when the link compresses nothing. */
+    std::uint64_t wireBytesIn = 0;
+    std::uint64_t wireBytesOut = 0;
+    /** Summed pipeline-fill ramps (first chunk's stream-in before the
+     *  array can start) under double buffering. */
+    double fillSeconds = 0.0;
+    /** Summed drain ramps (last chunk's stream-out after compute). */
+    double drainSeconds = 0.0;
+    /** Shared-link arbitration delay across all tasks: time transfers
+     *  waited for another tenant's stream on the same type lanes.
+     *  Exactly zero for single-tenant runs. */
+    double linkWaitSeconds = 0.0;
+    /** The part of linkWaitSeconds the prefetch queue could not hide:
+     *  arrays actually stalled this long waiting for operands. */
+    double prefetchStallSeconds = 0.0;
+    /** Tenants that shared the link in this run (1 for run()). */
+    std::uint32_t tenantCount = 1;
+    /** @} */
 
     /** Optional Gantt records (enabled via SimOptions). */
     std::vector<ScheduledItem> schedule;
@@ -189,6 +214,19 @@ class PerfSim
     SimReport runTasks(
         const std::vector<std::vector<DataflowTask>> &thread_tasks) const;
 
+    /**
+     * Simulate several tenants — independent ProSE instances each
+     * running its own batch — whose transfers arbitrate for one shared
+     * physical link (per-type lane groups are full-duplex shared
+     * channels; docs/LINK_MODEL.md). Compute resources are private per
+     * tenant; only link occupancy couples them. A single-tenant call
+     * is bit-identical to run(). The combined report aggregates all
+     * tenants (makespan = slowest tenant); per-tenant reports land in
+     * `per_tenant` when non-null.
+     */
+    SimReport runShared(const std::vector<BertShape> &tenant_shapes,
+                        std::vector<SimReport> *per_tenant = nullptr) const;
+
     const ProseConfig &config() const { return config_; }
 
   private:
@@ -203,7 +241,37 @@ class PerfSim
          * the array is free to serve other threads.
          */
         double threadExtraSeconds = 0.0;
+
+        /** Pooled compute time (streaming-model stage). */
+        double computeSeconds = 0.0;
+        /** Wire stream-in/-out times (shared-channel hold times). */
+        double streamInSeconds = 0.0;
+        double streamOutSeconds = 0.0;
+        /** Fill/drain ramps under double buffering (0 otherwise). */
+        double fillSeconds = 0.0;
+        double drainSeconds = 0.0;
+        /** Arbitration jitter the prefetch queue can hide before the
+         *  array stalls: (depth - 1) chunk-compute times. */
+        double prefetchSlackSeconds = 0.0;
+        /** Post-compression wire traffic. */
+        std::uint64_t wireBytesIn = 0;
+        std::uint64_t wireBytesOut = 0;
     };
+
+    /** One tenant's sliced workload inside runTasksShared. */
+    struct TenantLoad
+    {
+        std::vector<std::vector<DataflowTask>> threadTasks;
+        std::vector<std::uint64_t> shares; ///< batch slice per thread
+        std::uint64_t inferences = 0;
+    };
+
+    /** The joint scheduler behind runTasks()/run()/runShared(). */
+    SimReport runTasksShared(const std::vector<TenantLoad> &tenants,
+                             std::vector<SimReport> *per_tenant) const;
+
+    /** Slice one shape across the configured threads. */
+    TenantLoad sliceShape(const BertShape &shape) const;
 
     /**
      * @param geometry one array of the executing pool

@@ -80,6 +80,8 @@ ProseConfig::validate() const
                  ")");
     PROSE_ASSERT(lanes.total() == link.lanes,
                  "lane partition does not cover the link in ", name);
+    link.validate();
+    streaming.validate();
     PROSE_ASSERT(threads > 0, "need at least one software thread");
 }
 
@@ -94,7 +96,8 @@ ProseConfig::describe() const
         os << groups[i].count << "x " << groups[i].geometry.describe();
     }
     os << "] " << totalPes() << " PEs, " << link.name << " ("
-       << lanes.describe() << "), " << threads << " threads"
+       << lanes.describe() << ", " << streaming.describe() << "), "
+       << threads << " threads"
        << (partialInputBuffer ? ", +InBuf" : "");
     return os.str();
 }

@@ -26,6 +26,8 @@ struct ProseConfig
     std::vector<ArrayGroupSpec> groups;
     LinkSpec link = LinkSpec::nvlink2At90();
     LanePartition lanes;
+    /** DMA streaming model (overlap mode + prefetch depth). */
+    StreamSpec streaming;
     bool partialInputBuffer = true;
     std::uint32_t threads = 32;
 

@@ -12,7 +12,7 @@ PoolRoofline::kneeBandwidth() const
     if (computeSeconds <= 0.0 || laneShare <= 0.0)
         return 0.0;
     // stream_time = bytes / (link * share) == computeSeconds at the knee.
-    return static_cast<double>(streamBytes) /
+    return static_cast<double>(wireStreamBytes) /
            (computeSeconds * laneShare);
 }
 
@@ -34,6 +34,23 @@ RooflineAnalysis::saturationBandwidth() const
     for (const PoolRoofline &pool : pools)
         knee = std::max(knee, pool.kneeBandwidth());
     return knee;
+}
+
+bool
+RooflineAnalysis::linkBoundAt(double link_bytes_per_second) const
+{
+    PROSE_ASSERT(link_bytes_per_second > 0.0,
+                 "non-positive link bandwidth");
+    for (const PoolRoofline &pool : pools) {
+        if (pool.laneShare <= 0.0)
+            continue;
+        const double stream =
+            static_cast<double>(pool.wireStreamBytes) /
+            (link_bytes_per_second * pool.laneShare);
+        if (stream > pool.computeSeconds)
+            return true;
+    }
+    return false;
 }
 
 RooflineAnalysis
@@ -74,6 +91,9 @@ analyzeRoofline(const ProseConfig &config, const BertShape &shape)
             cost.computeSeconds(*geometry[idx]) / counts[idx];
         analysis.pools[idx].streamBytes +=
             std::max(cost.bytesIn, cost.bytesOut);
+        analysis.pools[idx].wireStreamBytes +=
+            std::max(config.link.wireBytes(cost.bytesIn),
+                     config.link.wireBytes(cost.bytesOut));
     }
     return analysis;
 }

@@ -24,11 +24,15 @@ struct PoolRoofline
     ArrayType type = ArrayType::M;
     double computeSeconds = 0.0;  ///< pooled compute time of its tasks
     std::uint64_t streamBytes = 0; ///< max(in, out) bytes it must move
+    /** streamBytes after the link's modeled compression (equal when
+     *  the link compresses nothing). The knee is computed from these:
+     *  compression moves the bandwidth wall left. */
+    std::uint64_t wireStreamBytes = 0;
     double laneShare = 0.0;       ///< fraction of link lanes it owns
 
     /**
-     * Link bandwidth (bytes/s, whole link) at which this pool's stream
-     * time equals its compute time — its saturation knee.
+     * Link bandwidth (bytes/s, whole link) at which this pool's wire
+     * stream time equals its compute time — its saturation knee.
      */
     double kneeBandwidth() const;
 };
@@ -44,6 +48,10 @@ struct RooflineAnalysis
 
     /** Bandwidth beyond which every pool is compute-bound. */
     double saturationBandwidth() const;
+
+    /** True when some pool's wire stream time exceeds its compute at
+     *  this whole-link rate — the bandwidth-wall side of the knee. */
+    bool linkBoundAt(double link_bytes_per_second) const;
 };
 
 /**

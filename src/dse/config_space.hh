@@ -25,6 +25,17 @@ struct ConfigSpaceSpec
     LinkSpec link = LinkSpec::nvlink2At90();
     bool partialInputBuffer = true;
     std::uint32_t threads = 32;
+
+    /**
+     * Streaming configurations to cross with every array mix (the
+     * bandwidth-wall co-design axes). Both default to singletons —
+     * the instance default streaming spec and the link's own
+     * compression — so legacy sweeps keep their size.
+     */
+    std::vector<StreamSpec> streamingSweep{ StreamSpec{} };
+    std::vector<LinkCompression> compressionSweep{
+        LinkCompression::None
+    };
 };
 
 /**

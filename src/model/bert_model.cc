@@ -1,10 +1,12 @@
 #include "bert_model.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "numerics/activations.hh"
+#include "numerics/kernels/kernel_dispatch.hh"
 #include "tokenizer.hh"
 
 namespace prose {
@@ -45,6 +47,8 @@ BertModel::BertModel(const BertConfig &config, BertWeights weights)
     PROSE_ASSERT(weights_.layers.size() == config_.layers,
                  "weights/config layer-count mismatch");
     rebuildWeightCache();
+    geluFlatBits_ = geluLut_.flattenToFloatBits();
+    expFlatBits_ = expLut_.flattenToFloatBits();
 }
 
 void
@@ -52,6 +56,8 @@ BertModel::setSpecialFunctionLuts(TwoLevelLut gelu, TwoLevelLut exp)
 {
     geluLut_ = std::move(gelu);
     expLut_ = std::move(exp);
+    geluFlatBits_ = geluLut_.flattenToFloatBits();
+    expFlatBits_ = expLut_.flattenToFloatBits();
 }
 
 void
@@ -240,21 +246,28 @@ BertModel::encoderLayer(const Matrix &x, const LayerWeights &lw, int layer,
                 probs = rowSoftmax(scores);
             } else {
                 // Accelerator path: Exp on-array (optionally via LUT),
-                // row sum + divide on the host CPU in fp32.
+                // row sum + divide on the host CPU in fp32. The LUT
+                // sweep and the divide epilogue run through the SIMD
+                // kernel layer; both kernels are bit-exact with the
+                // scalar forms on every tier.
+                const auto &kernels = kernels::activeKernels();
                 for (std::uint64_t i = 0; i < seq_len; ++i) {
-                    double denom = 0.0;
-                    for (std::uint64_t j = 0; j < seq_len; ++j) {
-                        float e;
-                        if (mode == NumericsMode::Bf16Lut)
-                            e = expLut_.lookupFloat(scores(i, j));
-                        else
-                            e = quantizeBf16(std::exp(scores(i, j)));
-                        probs(i, j) = e;
-                        denom += e;
+                    float *prow = probs.row(i);
+                    if (mode == NumericsMode::Bf16Lut) {
+                        std::copy(scores.row(i), scores.row(i) + seq_len,
+                                  prow);
+                        kernels.lutRow(prow, expFlatBits_.data(),
+                                       seq_len);
+                    } else {
+                        for (std::uint64_t j = 0; j < seq_len; ++j)
+                            prow[j] =
+                                quantizeBf16(std::exp(scores(i, j)));
                     }
-                    const float inv = static_cast<float>(1.0 / denom);
+                    double denom = 0.0;
                     for (std::uint64_t j = 0; j < seq_len; ++j)
-                        probs(i, j) = quantizeBf16(probs(i, j) * inv);
+                        denom += prow[j];
+                    const float inv = static_cast<float>(1.0 / denom);
+                    kernels.scaleQuantizeRow(prow, inv, seq_len);
                 }
             }
 
@@ -287,14 +300,20 @@ BertModel::encoderLayer(const Matrix &x, const LayerWeights &lw, int layer,
     modalQuantize(inter, mode);
     record(OpKind::MulAdd, Sublayer::Intermediate, 1, bl, 0,
            config_.intermediate, true);
-    for (std::size_t i = 0; i < inter.rows(); ++i) {
-        for (std::size_t j = 0; j < inter.cols(); ++j) {
-            if (mode == NumericsMode::Bf16Lut)
-                inter(i, j) = geluLut_.lookupFloat(inter(i, j));
-            else if (mode == NumericsMode::Bf16)
-                inter(i, j) = quantizeBf16(geluTanh(inter(i, j)));
-            else
-                inter(i, j) = geluTanh(inter(i, j));
+    if (mode == NumericsMode::Bf16Lut) {
+        // GELU LUT sweep through the SIMD gather kernel (bit-exact
+        // with the scalar two-level lookup on every tier).
+        for (std::size_t i = 0; i < inter.rows(); ++i)
+            kernels::activeKernels().lutRow(
+                inter.row(i), geluFlatBits_.data(), inter.cols());
+    } else {
+        for (std::size_t i = 0; i < inter.rows(); ++i) {
+            for (std::size_t j = 0; j < inter.cols(); ++j) {
+                if (mode == NumericsMode::Bf16)
+                    inter(i, j) = quantizeBf16(geluTanh(inter(i, j)));
+                else
+                    inter(i, j) = geluTanh(inter(i, j));
+            }
         }
     }
     record(OpKind::Gelu, Sublayer::Intermediate, 1, bl, 0,

@@ -165,6 +165,16 @@ class BertModel
     BertWeights weights_;
     TwoLevelLut geluLut_;
     TwoLevelLut expLut_;
+    /**
+     * Flat 65536-entry gather tables of the two LUTs (bf16 bit pattern
+     * -> fp32 bit pattern), rebuilt whenever the LUTs change. The
+     * Bf16Lut GELU/Exp sweeps run through kernels::lutRow against
+     * these; flattenToFloatBits makes a flat read bit-exact with the
+     * two-level read by construction, so the vectorized sweeps match
+     * the scalar lookupFloat path on every SIMD tier.
+     */
+    std::vector<std::uint32_t> geluFlatBits_;
+    std::vector<std::uint32_t> expFlatBits_;
     std::vector<QuantizedLayerWeights> bf16Weights_;
     QuantizedOperand poolerWBf16_;
 };

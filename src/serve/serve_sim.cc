@@ -85,6 +85,8 @@ ServeSpec::validate() const
         fatal("serve: SLO must be a positive number of seconds");
     if (instanceCount == 0)
         fatal("serve: zero instances");
+    if (linkTenantsPerHost == 0)
+        fatal("serve: zero link tenants per host");
     if (!(dispatchOverheadSeconds >= 0.0))
         fatal("serve: negative dispatch overhead");
 }
@@ -105,6 +107,7 @@ ServeReport::describe() const
        << '\n'
        << "chaos: retries=" << retries
        << " instances_killed=" << instancesKilled << '\n'
+       << "link: wait=" << linkWaitSeconds << "s\n"
        << "batches: count=" << batches << " mean_fill=" << meanBatchFill
        << " max_queue_depth=" << maxQueueDepthSeen << '\n'
        << "latency: p50=" << p50Seconds << "s p99=" << p99Seconds
@@ -256,7 +259,21 @@ ServeSim::run(FaultInjector *injector) const
                 arena[id].instance = slot;
             }
             instance.busy = true;
-            instance.freeAt = at + batch.serviceSeconds;
+            if (spec_.linkTenantsPerHost > 1) {
+                // Price the batch under worst-case link sharing: every
+                // co-tenant of this host streams the same shape
+                // concurrently. The batcher's close decisions still
+                // use the dedicated-link model (optimistic), so the
+                // contended duration only stretches the instance
+                // occupancy and the members' completion times.
+                const SharedServiceSeconds shared = model.sharedSeconds(
+                    batch.paddedLength, batch.members.size(),
+                    spec_.linkTenantsPerHost);
+                instance.freeAt = at + shared.seconds;
+                report.linkWaitSeconds += shared.linkWaitSeconds;
+            } else {
+                instance.freeAt = at + batch.serviceSeconds;
+            }
             instance.inFlight = std::move(batch);
             ++report.batches;
             fill_sum += static_cast<double>(

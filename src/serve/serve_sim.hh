@@ -75,9 +75,20 @@ struct ServeSpec
     /** Default per-request latency SLO (deadline = arrival + slo). */
     double sloSeconds = 0.05;
 
-    /** The serving fleet: identical instances on dedicated links. */
+    /** The serving fleet: identical instances. */
     std::uint32_t instanceCount = 4;
     ProseConfig instance = ProseConfig::bestPerf();
+
+    /**
+     * Instances whose transfers share one physical host link. 1 (the
+     * default) keeps every instance on a dedicated link — the legacy
+     * uniform-progress model, bit-identical to before the knob
+     * existed. K > 1 prices every batch as if K tenants stream the
+     * same shape concurrently through PerfSim::runShared's
+     * deterministic link arbitration, and the per-request link wait
+     * lands in ServeReport::linkWaitSeconds (docs/LINK_MODEL.md).
+     */
+    std::uint32_t linkTenantsPerHost = 1;
 
     /** Served model shape (batch/seqLen overridden per bucket batch). */
     BertShape model{ 2, 768, 12, 3072, 1, 128 };
@@ -116,6 +127,12 @@ struct ServeReport
     std::uint64_t batches = 0;
     double meanBatchFill = 0.0;   ///< sequences per batch / maxBatch
     std::uint64_t maxQueueDepthSeen = 0;
+    /** @} */
+
+    /** @name Link contention (zero unless linkTenantsPerHost > 1) @{ */
+    /** Summed per-batch mean link arbitration wait (the contended
+     *  service model's per-tenant share, once per dispatched batch). */
+    double linkWaitSeconds = 0.0;
     /** @} */
 
     /** @name Latency + goodput @{ */

@@ -33,6 +33,36 @@ ServiceModel::seconds(std::uint64_t padded_len,
     return service;
 }
 
+SharedServiceSeconds
+ServiceModel::sharedSeconds(std::uint64_t padded_len,
+                            std::uint64_t batch,
+                            std::uint32_t tenants) const
+{
+    PROSE_ASSERT(tenants > 0, "shared service query with zero tenants");
+    if (tenants == 1)
+        return SharedServiceSeconds{ seconds(padded_len, batch), 0.0 };
+    PROSE_ASSERT(padded_len > 0 && batch > 0,
+                 "service query for an empty batch");
+    const auto key = std::make_tuple(padded_len, batch, tenants);
+    const auto it = sharedCache_.find(key);
+    if (it != sharedCache_.end())
+        return it->second;
+    BertShape shape = model_;
+    shape.seqLen = padded_len;
+    shape.batch = batch;
+    std::vector<SimReport> per_tenant;
+    const SimReport combined = PerfSim(config_).runShared(
+        std::vector<BertShape>(tenants, shape), &per_tenant);
+    SharedServiceSeconds shared;
+    // All tenants run the same shape, but arbitration order makes the
+    // slots finish at slightly different times; charge the worst one.
+    shared.seconds = combined.makespan + dispatchOverheadSeconds_;
+    shared.linkWaitSeconds =
+        combined.linkWaitSeconds / static_cast<double>(tenants);
+    sharedCache_.emplace(key, shared);
+    return shared;
+}
+
 double
 ServiceModel::capacityPerSecond(std::uint64_t padded_len,
                                 std::uint64_t batch,

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <tuple>
 #include <utility>
 
 #include "accel/perf_sim.hh"
@@ -23,6 +24,16 @@
 #include "trace/dataflow.hh"
 
 namespace prose {
+
+/** Service time of a batch on an instance whose link is shared. */
+struct SharedServiceSeconds
+{
+    /** Worst-tenant batch duration (conservative: every co-tenant of
+     *  the host runs the same shape concurrently). */
+    double seconds = 0.0;
+    /** Mean per-tenant link arbitration wait inside that duration. */
+    double linkWaitSeconds = 0.0;
+};
 
 /** Deterministic per-batch latency oracle for one instance type. */
 class ServiceModel
@@ -40,6 +51,16 @@ class ServiceModel
 
     /** Service seconds for `batch` sequences padded to `padded_len`. */
     double seconds(std::uint64_t padded_len, std::uint64_t batch) const;
+
+    /**
+     * Service seconds when `tenants` identical instances contend for
+     * one physical link (PerfSim::runShared under the hood; see
+     * docs/LINK_MODEL.md). tenants == 1 is exactly seconds() with a
+     * zero link wait. Memoized like seconds().
+     */
+    SharedServiceSeconds sharedSeconds(std::uint64_t padded_len,
+                                       std::uint64_t batch,
+                                       std::uint32_t tenants) const;
 
     /**
      * Steady-state capacity estimate in requests/second for a stream of
@@ -65,6 +86,11 @@ class ServiceModel
      *  iteration if anyone ever reports the cache. */
     mutable std::map<std::pair<std::uint64_t, std::uint64_t>, double>
         cache_;
+    /** (padded length, batch, tenants) -> shared service time. */
+    mutable std::map<
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>,
+        SharedServiceSeconds>
+        sharedCache_;
 };
 
 } // namespace prose

@@ -84,6 +84,7 @@ TimingModel::costTask(const DataflowTask &task,
           case OpKind::Bmm: {
             cost.matmulCycles +=
                 op.batch * matmulCycles(op.m, op.k, op.n, s);
+            cost.tiles += op.batch * ceilDiv(op.m, s) * ceilDiv(op.n, s);
             cost.bytesIn += op.bytesIn(kBf16Bytes);
             if (!partialInputBuffer_)
                 cost.bytesIn +=

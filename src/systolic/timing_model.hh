@@ -37,6 +37,13 @@ struct TaskCost
     std::uint64_t simdCycles = 0;   ///< cycles at the SIMD clock
     std::uint64_t bytesIn = 0;      ///< host->accelerator stream bytes
     std::uint64_t bytesOut = 0;     ///< accelerator->host stream bytes
+    /**
+     * Output tiles the task streams through the array (summed over its
+     * matmul ops). The streaming link model uses this as the task's
+     * DMA chunk count: transfers and compute pipeline at tile
+     * granularity, so the fill/drain ramp is one chunk's worth.
+     */
+    std::uint64_t tiles = 0;
     std::uint64_t hostSoftmaxElems = 0; ///< elements the host sum/divides
     double flops = 0.0;             ///< useful arithmetic in the task
 

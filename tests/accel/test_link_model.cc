@@ -39,6 +39,109 @@ TEST(LinkSpec, CustomBandwidth)
     EXPECT_DOUBLE_EQ(link.totalBytesPerSecond, 360e9);
 }
 
+TEST(LinkSpec, CustomKeepsNvlink2LaneGranularity)
+{
+    // custom() models "the same physical link, different achievable
+    // rate": the NVLink 2.0 lane count, so per-lane bandwidth scales
+    // with the total and partitions stay comparable across a sweep.
+    const LinkSpec link = LinkSpec::custom(360.0);
+    EXPECT_EQ(link.lanes, 6u);
+    EXPECT_DOUBLE_EQ(link.laneBytesPerSecond(), 60e9);
+    EXPECT_FALSE(link.isInfinite());
+    EXPECT_TRUE(LinkSpec::infinite().isInfinite());
+}
+
+TEST(LinkSpec, ValidateAcceptsFactories)
+{
+    for (const LinkSpec &link : LinkSpec::paperSweep())
+        link.validate(); // must not panic
+}
+
+TEST(LinkSpecDeathTest, ValidateRejectsBadSpecs)
+{
+    LinkSpec no_lanes = LinkSpec::nvlink2At80();
+    no_lanes.lanes = 0;
+    EXPECT_DEATH(no_lanes.validate(), "at least one lane");
+
+    LinkSpec bad_fraction = LinkSpec::nvlink2At80();
+    bad_fraction.zeroFraction = 1.5;
+    EXPECT_DEATH(bad_fraction.validate(), "zeroFraction");
+}
+
+TEST(StreamSpec, DescribeNamesTheModeAndDepth)
+{
+    StreamSpec spec;
+    EXPECT_EQ(spec.describe(), "double-bufferedx2");
+    spec.mode = StreamMode::Serialized;
+    EXPECT_EQ(spec.describe(), "serialized");
+    spec.mode = StreamMode::Ideal;
+    EXPECT_EQ(spec.describe(), "ideal");
+}
+
+TEST(StreamSpecDeathTest, ValidateRejectsShallowDoubleBuffer)
+{
+    StreamSpec spec;
+    spec.bufferDepth = 1;
+    EXPECT_DEATH(spec.validate(), "two buffers");
+    spec.bufferDepth = 0;
+    EXPECT_DEATH(spec.validate(), "depth");
+}
+
+TEST(LinkCompression, NoneIsPassthrough)
+{
+    const LinkSpec link = LinkSpec::nvlink2At80();
+    EXPECT_DOUBLE_EQ(link.compressionRatio(), 1.0);
+    EXPECT_EQ(link.wireBytes(0), 0u);
+    EXPECT_EQ(link.wireBytes(1 << 20), std::uint64_t{ 1 } << 20);
+}
+
+TEST(LinkCompression, WireBytesShrinkAndNeverExpand)
+{
+    for (const LinkCompression codec :
+         { LinkCompression::ZeroRun, LinkCompression::Delta }) {
+        LinkSpec link = LinkSpec::nvlink2At80();
+        link.compression = codec;
+        const double ratio = link.compressionRatio();
+        EXPECT_GT(ratio, 0.0);
+        EXPECT_LE(ratio, 1.0);
+        // Representative payloads, including tiny ones where ceil
+        // rounding could otherwise expand the frame.
+        for (const std::uint64_t logical :
+             { std::uint64_t{ 1 }, std::uint64_t{ 2 },
+               std::uint64_t{ 4096 }, std::uint64_t{ 1 } << 24 }) {
+            const std::uint64_t wire = link.wireBytes(logical);
+            EXPECT_LE(wire, logical);
+            EXPECT_GT(wire, 0u);
+        }
+        EXPECT_EQ(link.wireBytes(0), 0u);
+    }
+}
+
+TEST(LinkCompression, RatiosFollowTheWorkloadStatistics)
+{
+    // More zeros -> smaller ZeroRun ratio; more high-byte hits ->
+    // smaller Delta ratio. All-miss workloads degrade to passthrough
+    // (the clamp), never expansion.
+    LinkSpec zero = LinkSpec::nvlink2At80();
+    zero.compression = LinkCompression::ZeroRun;
+    zero.zeroFraction = 0.0;
+    EXPECT_DOUBLE_EQ(zero.compressionRatio(), 1.0);
+    const double at25 =
+        (zero.zeroFraction = 0.25, zero.compressionRatio());
+    const double at75 =
+        (zero.zeroFraction = 0.75, zero.compressionRatio());
+    EXPECT_LT(at75, at25);
+    EXPECT_LT(at25, 1.0);
+
+    LinkSpec delta = LinkSpec::nvlink2At80();
+    delta.compression = LinkCompression::Delta;
+    delta.deltaHitFraction = 0.0;
+    EXPECT_DOUBLE_EQ(delta.compressionRatio(), 1.0);
+    delta.deltaHitFraction = 1.0;
+    // All hits: half the payload plus the block headers.
+    EXPECT_NEAR(delta.compressionRatio(), 0.5 + 1.0 / 128.0, 1e-12);
+}
+
 TEST(LanePartition, BandwidthSplitsByLaneCount)
 {
     const LinkSpec link = LinkSpec::nvlink2At90();
@@ -73,6 +176,24 @@ TEST(LanePartition, EnumerateTwelveLanes)
 {
     // C(11,2) = 55 compositions for the NVLink 3.0 lane count.
     EXPECT_EQ(LanePartition::enumerate(12).size(), 55u);
+}
+
+TEST(LanePartition, EnumerateThreeLanesIsTheSingleton)
+{
+    // Three lanes leave exactly one way to feed every type.
+    const auto options = LanePartition::enumerate(3);
+    ASSERT_EQ(options.size(), 1u);
+    EXPECT_EQ(options[0].mLanes, 1u);
+    EXPECT_EQ(options[0].gLanes, 1u);
+    EXPECT_EQ(options[0].eLanes, 1u);
+}
+
+TEST(LanePartitionDeathTest, EnumerateRejectsStarvedLinks)
+{
+    // Fewer than three lanes cannot feed all three array types; a
+    // one-lane link must be rejected, not silently enumerate nothing.
+    EXPECT_DEATH(LanePartition::enumerate(1), "at least one lane");
+    EXPECT_DEATH(LanePartition::enumerate(0), "at least one lane");
 }
 
 TEST(LanePartitionDeathTest, MismatchedPartitionPanics)

@@ -91,5 +91,35 @@ TEST(Roofline, MoreLanesLowerTheKnee)
     EXPECT_GT(a.pools[0].kneeBandwidth(), b.pools[0].kneeBandwidth());
 }
 
+TEST(Roofline, CompressionMovesTheWallLeft)
+{
+    // On-link compression shrinks wire traffic, so every pool's knee
+    // (and the whole design's saturation bandwidth) drops; the logical
+    // streamBytes stay what the dataflows demand.
+    const ProseConfig raw = ProseConfig::bestPerf();
+    ProseConfig compressed = raw;
+    compressed.link.compression = LinkCompression::ZeroRun;
+    const RooflineAnalysis a = analyzeRoofline(raw, shape());
+    const RooflineAnalysis b = analyzeRoofline(compressed, shape());
+    for (std::size_t i = 0; i < a.pools.size(); ++i) {
+        EXPECT_EQ(a.pools[i].streamBytes, b.pools[i].streamBytes);
+        EXPECT_EQ(a.pools[i].wireStreamBytes, a.pools[i].streamBytes);
+        EXPECT_LT(b.pools[i].wireStreamBytes,
+                  b.pools[i].streamBytes);
+        EXPECT_GT(a.pools[i].kneeBandwidth(),
+                  b.pools[i].kneeBandwidth());
+    }
+    EXPECT_GT(a.saturationBandwidth(), b.saturationBandwidth());
+}
+
+TEST(Roofline, LinkBoundPredicateBracketsTheKnee)
+{
+    const RooflineAnalysis analysis =
+        analyzeRoofline(ProseConfig::bestPerf(), shape());
+    const double knee = analysis.saturationBandwidth();
+    EXPECT_TRUE(analysis.linkBoundAt(knee * 0.5));
+    EXPECT_FALSE(analysis.linkBoundAt(knee * 2.0));
+}
+
 } // namespace
 } // namespace prose

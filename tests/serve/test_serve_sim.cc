@@ -140,6 +140,36 @@ TEST(ServeSim, ReplayIsBitIdentical)
     EXPECT_EQ(a.describe(), c.describe());
 }
 
+TEST(ServeSim, SharedLinkTenancySlowsServiceNotThroughputAccounting)
+{
+    // Two tenants per host: each dispatch is served at the contended
+    // rate from PerfSim::runShared, so latency can only move up, the
+    // request accounting must still conserve, and the whole thing
+    // stays deterministic (the service model memoizes shared points
+    // like solo ones).
+    ServeSpec solo = smallSpec();
+    ServeSpec shared = smallSpec();
+    shared.linkTenantsPerHost = 2;
+    const ServeReport solo_report = ServeSim(solo).run();
+    const ServeSim shared_sim(shared);
+    const ServeReport a = shared_sim.run();
+    EXPECT_EQ(a.offered, solo_report.offered);
+    EXPECT_EQ(a.lost(), 0u);
+    EXPECT_GE(a.p50Seconds, solo_report.p50Seconds);
+    EXPECT_GE(a.linkWaitSeconds, 0.0);
+    EXPECT_EQ(solo_report.linkWaitSeconds, 0.0);
+
+    const ServeReport b = shared_sim.run();
+    EXPECT_EQ(a.describe(), b.describe());
+}
+
+TEST(ServeSpecDeathTest, RejectsZeroLinkTenants)
+{
+    ServeSpec spec = smallSpec();
+    spec.linkTenantsPerHost = 0;
+    EXPECT_DEATH(spec.validate(), "tenant");
+}
+
 TEST(ServeSim, OverloadShedsInsteadOfCollapsing)
 {
     ServeSpec spec = smallSpec(600);
