@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/logging.hh"
+#include "common/strutil.hh"
 #include "common/table.hh"
 #include "dse/dse_engine.hh"
 
@@ -23,10 +25,12 @@ main(int argc, char **argv)
 {
     std::uint64_t budget = 16384;
     std::uint64_t seq_len = 512;
-    if (argc > 1)
-        budget = std::strtoull(argv[1], nullptr, 10);
-    if (argc > 2)
-        seq_len = std::strtoull(argv[2], nullptr, 10);
+    if (argc > 1 && (!parseU64(argv[1], budget) || budget == 0))
+        fatal("PE budget must be a positive integer, got '", argv[1],
+              "'");
+    if (argc > 2 && (!parseU64(argv[2], seq_len) || seq_len == 0))
+        fatal("sequence length must be a positive integer, got '",
+              argv[2], "'");
 
     std::cout << "ProSE design explorer\n=====================\n\n"
               << "PE budget: " << budget << ", target length: " << seq_len

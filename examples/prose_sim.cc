@@ -25,10 +25,12 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <type_traits>
 
 #include "accel/mix_parse.hh"
 #include "accel/system.hh"
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "common/table.hh"
 
 using namespace prose;
@@ -42,6 +44,32 @@ usage(const char *argv0)
               << " [--config NAME] [--len N] [--batch N] [--threads N]"
                  " [--link GB/s] [--instances N] [--csv]\n";
     std::exit(2);
+}
+
+/** Checked CLI numbers: "--len 12x" or "--link nan" is a usage error,
+ *  not a silent zero (strtoull with a null end pointer never reports). */
+template <typename T>
+T
+parseNumericArg(const std::string &flag, const std::string &text)
+{
+    bool ok = false;
+    T out{};
+    if constexpr (std::is_same_v<T, double>) {
+        double v = 0.0;
+        ok = parseFiniteDouble(text, v);
+        out = v;
+    } else if constexpr (std::is_same_v<T, std::uint32_t>) {
+        std::uint32_t v = 0;
+        ok = parseU32(text, v);
+        out = v;
+    } else {
+        std::uint64_t v = 0;
+        ok = parseU64(text, v);
+        out = v;
+    }
+    if (!ok)
+        fatal("bad value for ", flag, ": '", text, "'");
+    return out;
 }
 
 ProseConfig
@@ -90,17 +118,15 @@ main(int argc, char **argv)
         else if (arg == "--lanes")
             lane_spec = value();
         else if (arg == "--len")
-            len = std::strtoull(value(), nullptr, 10);
+            len = parseNumericArg<std::uint64_t>(arg, value());
         else if (arg == "--batch")
-            batch = std::strtoull(value(), nullptr, 10);
+            batch = parseNumericArg<std::uint64_t>(arg, value());
         else if (arg == "--threads")
-            threads = static_cast<std::uint32_t>(
-                std::strtoul(value(), nullptr, 10));
+            threads = parseNumericArg<std::uint32_t>(arg, value());
         else if (arg == "--link")
-            link_gbps = std::strtod(value(), nullptr);
+            link_gbps = parseNumericArg<double>(arg, value());
         else if (arg == "--instances")
-            instances = static_cast<std::uint32_t>(
-                std::strtoul(value(), nullptr, 10));
+            instances = parseNumericArg<std::uint32_t>(arg, value());
         else if (arg == "--csv")
             csv = true;
         else if (arg == "--help" || arg == "-h")

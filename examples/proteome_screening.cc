@@ -15,6 +15,8 @@
 
 #include "accel/batcher.hh"
 #include "accel/energy_report.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
 #include "common/table.hh"
 #include "protein/proteome.hh"
 
@@ -24,8 +26,13 @@ int
 main(int argc, char **argv)
 {
     std::size_t count = 2000;
-    if (argc > 1)
-        count = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 1) {
+        std::uint64_t parsed = 0;
+        if (!parseU64(argv[1], parsed) || parsed == 0)
+            fatal("protein count must be a positive integer, got '",
+                  argv[1], "'");
+        count = parsed;
+    }
 
     std::cout << "Proteome screening on ProSE\n"
               << "===========================\n\n";

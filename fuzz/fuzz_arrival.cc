@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Arrival-trace parser harness. Accepted traces must come out with
+ * the documented invariants: strictly increasing timestamps, nonzero
+ * lengths, non-negative times.
+ */
+
+#include <sstream>
+
+#include "fuzz_common.hh"
+#include "serve/arrival.hh"
+
+using namespace prose;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size > fuzz::kMaxInputBytes)
+        return 0;
+    std::vector<TraceArrival> arrivals;
+    const bool accepted = fuzz::guardedParse([&] {
+        std::istringstream in(fuzz::textFromBytes(data, size));
+        arrivals = parseArrivalTrace(in, "<fuzz>");
+    });
+    if (!accepted)
+        return 0;
+
+    PROSE_ASSERT(!arrivals.empty(), "accepted an empty arrival trace");
+    double last_at = -1.0;
+    for (const TraceArrival &arrival : arrivals) {
+        PROSE_ASSERT(arrival.atSeconds >= 0.0,
+                     "accepted a negative arrival time");
+        PROSE_ASSERT(arrival.atSeconds > last_at,
+                     "accepted non-increasing arrival timestamps");
+        PROSE_ASSERT(arrival.residues > 0,
+                     "accepted a zero-length request");
+        last_at = arrival.atSeconds;
+    }
+    return 0;
+}

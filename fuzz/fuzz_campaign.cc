@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fault-campaign spec harness. parse() validates internally, so an
+ * accepted spec must survive validate() and round-trip through its
+ * canonical describe() form.
+ */
+
+#include "fault/campaign.hh"
+#include "fuzz_common.hh"
+
+using namespace prose;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size > fuzz::kMaxInputBytes)
+        return 0;
+    CampaignSpec spec;
+    const bool accepted = fuzz::guardedParse([&] {
+        spec = CampaignSpec::parse(fuzz::textFromBytes(data, size));
+    });
+    if (!accepted)
+        return 0;
+
+    spec.validate();
+    const std::string canonical = spec.describe();
+    const CampaignSpec again = CampaignSpec::parse(canonical);
+    PROSE_ASSERT(again.describe() == canonical,
+                 "campaign describe() is not a parse fixed point");
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared plumbing for the fuzz harnesses. Every harness defines the
+ * libFuzzer entry point `LLVMFuzzerTestOneInput` and compiles two ways:
+ *
+ *   - under PROSE_FUZZ (clang), linked with -fsanitize=fuzzer into a
+ *     coverage-guided fuzzer binary;
+ *   - always, linked with replay_main.cc into a plain executable that
+ *     replays the committed corpus files deterministically as a ctest
+ *     tier-1 test (no fuzzer, any compiler).
+ *
+ * Parsers reject malformed input with fatal(), which normally exits
+ * the process. Harnesses wrap the parse in guardedParse(), which uses
+ * ScopedFatalThrow to turn fatal() into a caught exception: a clean
+ * rejection is a *pass*, while anything else — assertion abort, UB,
+ * ASan report, uncaught exception — crashes the harness and becomes a
+ * fuzzer finding.
+ */
+
+#ifndef PROSE_FUZZ_FUZZ_COMMON_HH
+#define PROSE_FUZZ_FUZZ_COMMON_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace prose::fuzz {
+
+/**
+ * Hard cap on bytes a harness accepts per input. Keeps exploration in
+ * the parser state machines instead of in O(bytes) buffer churn, and
+ * bounds replay time for committed corpus files.
+ */
+constexpr std::size_t kMaxInputBytes = 64 * 1024;
+
+/** The raw fuzz bytes as a string (text parsers take text). */
+inline std::string
+textFromBytes(const std::uint8_t *data, std::size_t size)
+{
+    return std::string(reinterpret_cast<const char *>(data), size);
+}
+
+/**
+ * Run one parse attempt with fatal() demoted to a quiet exception.
+ * Returns true if the parser accepted the input, false on a clean
+ * fatal() rejection. Crashes (abort, sanitizer, other exceptions)
+ * propagate — those are findings.
+ */
+template <typename Fn>
+bool
+guardedParse(Fn &&fn)
+{
+    ScopedFatalThrow guard;
+    try {
+        std::forward<Fn>(fn)();
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+/**
+ * Structured decoder for structure-aware harnesses: consumes the fuzz
+ * byte stream as a sequence of small decisions. Exhausted input yields
+ * zeros, so every byte string — including the empty one — decodes to
+ * a complete, valid tuple and the fuzzer never wastes executions on
+ * "malformed" structure.
+ */
+class FuzzInput
+{
+  public:
+    FuzzInput(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    std::uint8_t u8()
+    {
+        if (pos_ >= size_)
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint32_t u32()
+    {
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i)
+            value = (value << 8) | u8();
+        return value;
+    }
+
+    /** Uniform-ish pick in [0, bound); bound must be > 0. */
+    std::uint32_t below(std::uint32_t bound)
+    {
+        return u32() % bound;
+    }
+
+    /** Pick one element of a fixed table. */
+    template <typename T, std::size_t N>
+    const T &pick(const T (&table)[N])
+    {
+        return table[below(static_cast<std::uint32_t>(N))];
+    }
+
+    /** A small signed float in [-4, 4), quantized to 1/16 steps so
+     *  accumulation stays far from overflow/inf. */
+    float smallFloat()
+    {
+        return (static_cast<int>(u8()) - 128) / 32.0f;
+    }
+
+    /** The undecoded tail as text (for embedded free-form fields). */
+    std::string rest()
+    {
+        std::string tail(reinterpret_cast<const char *>(data_ + pos_),
+                         size_ - pos_);
+        pos_ = size_;
+        return tail;
+    }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace prose::fuzz
+
+#endif // PROSE_FUZZ_FUZZ_COMMON_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * FASTA reader harness. Property beyond "no crash": any accepted input
+ * must round-trip — writeFasta(readFasta(x)) re-parses to the identical
+ * record list. This is the invariant that caught the original
+ * '>'-swallowed-into-a-sequence bug.
+ */
+
+#include <sstream>
+
+#include "fuzz_common.hh"
+#include "protein/fasta.hh"
+
+using namespace prose;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size > fuzz::kMaxInputBytes)
+        return 0;
+    std::vector<FastaRecord> records;
+    const bool accepted = fuzz::guardedParse([&] {
+        std::istringstream in(fuzz::textFromBytes(data, size));
+        records = readFasta(in);
+    });
+    if (!accepted)
+        return 0;
+
+    std::ostringstream out;
+    writeFasta(out, records);
+    std::istringstream again(out.str());
+    const std::vector<FastaRecord> reparsed = readFasta(again);
+    PROSE_ASSERT(reparsed.size() == records.size(),
+                 "FASTA round-trip changed the record count");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        PROSE_ASSERT(reparsed[i].id == records[i].id,
+                     "FASTA round-trip changed a record id");
+        PROSE_ASSERT(reparsed[i].comment == records[i].comment,
+                     "FASTA round-trip changed a comment");
+        PROSE_ASSERT(reparsed[i].sequence == records[i].sequence,
+                     "FASTA round-trip changed a sequence");
+    }
+    return 0;
+}

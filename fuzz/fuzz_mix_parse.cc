@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Mix/lane spec parser harness. Input is split at the first newline:
+ * first line fuzzes parseMixSpec, the rest fuzzes parseLaneSpec.
+ * Accepted mixes must obey the documented bounds (nonzero dims and
+ * counts, no duplicate types).
+ */
+
+#include "accel/mix_parse.hh"
+#include "fuzz_common.hh"
+
+using namespace prose;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size > fuzz::kMaxInputBytes)
+        return 0;
+    const std::string text = fuzz::textFromBytes(data, size);
+    const std::size_t split = text.find('\n');
+    const std::string mix_text = text.substr(0, split);
+    const std::string lane_text =
+        split == std::string::npos ? "" : text.substr(split + 1);
+
+    std::vector<ArrayGroupSpec> groups;
+    if (fuzz::guardedParse([&] { groups = parseMixSpec(mix_text); })) {
+        PROSE_ASSERT(!groups.empty(), "accepted mix spec with no groups");
+        bool seen[3] = {};
+        for (const ArrayGroupSpec &group : groups) {
+            PROSE_ASSERT(group.geometry.dim > 0 &&
+                             group.geometry.dim <= 4096,
+                         "accepted out-of-bounds array dimension");
+            PROSE_ASSERT(group.count > 0 && group.count <= 65536,
+                         "accepted out-of-bounds array count");
+            const auto type =
+                static_cast<std::size_t>(group.geometry.type);
+            PROSE_ASSERT(type < 3 && !seen[type],
+                         "accepted duplicate array type");
+            seen[type] = true;
+        }
+    }
+
+    LanePartition lanes;
+    if (fuzz::guardedParse([&] { lanes = parseLaneSpec(lane_text); }))
+        PROSE_ASSERT(lanes.total() > 0, "accepted an empty lane split");
+    return 0;
+}

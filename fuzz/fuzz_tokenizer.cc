@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tokenizer vocab-text harness. Accepted vocabularies must round-trip
+ * through vocabText() and honor the encode/decode contract on their
+ * own alphabet.
+ */
+
+#include "fuzz_common.hh"
+#include "model/tokenizer.hh"
+
+using namespace prose;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size > fuzz::kMaxInputBytes)
+        return 0;
+    AminoTokenizer tokenizer;
+    const bool accepted = fuzz::guardedParse([&] {
+        tokenizer =
+            AminoTokenizer::fromVocabText(fuzz::textFromBytes(data, size));
+    });
+    if (!accepted)
+        return 0;
+
+    const std::string &alphabet = tokenizer.alphabet();
+    PROSE_ASSERT(!alphabet.empty(), "accepted vocab with no residues");
+    PROSE_ASSERT(tokenizer.vocabSize() == 5 + alphabet.size(),
+                 "vocabSize disagrees with the alphabet");
+
+    // Canonical text round-trip.
+    const AminoTokenizer again =
+        AminoTokenizer::fromVocabText(tokenizer.vocabText());
+    PROSE_ASSERT(again.alphabet() == alphabet,
+                 "vocabText round-trip changed the alphabet");
+
+    // Encoding the alphabet itself: [CLS] ids [SEP], decoded back as
+    // '.' alphabet '.'.
+    const std::vector<std::uint32_t> ids = tokenizer.encode(alphabet);
+    PROSE_ASSERT(ids.size() == alphabet.size() + 2,
+                 "encode added tokens beyond [CLS]/[SEP]");
+    PROSE_ASSERT(tokenizer.decode(ids) == "." + alphabet + ".",
+                 "decode(encode(alphabet)) diverged");
+    for (char residue : alphabet)
+        PROSE_ASSERT(tokenizer.isResidue(residue),
+                     "alphabet member not recognized as residue");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Op-trace reader harness. Accepted traces must round-trip through
+ * writeTrace: the re-parsed op list is field-identical and the second
+ * serialization matches the first byte-for-byte.
+ */
+
+#include <sstream>
+
+#include "fuzz_common.hh"
+#include "trace/trace_io.hh"
+
+using namespace prose;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size > fuzz::kMaxInputBytes)
+        return 0;
+    OpTrace trace;
+    const bool accepted = fuzz::guardedParse([&] {
+        std::istringstream in(fuzz::textFromBytes(data, size));
+        trace = readTrace(in);
+    });
+    if (!accepted)
+        return 0;
+
+    std::ostringstream out;
+    writeTrace(out, trace);
+    std::istringstream again_in(out.str());
+    const OpTrace again = readTrace(again_in);
+    PROSE_ASSERT(again.ops().size() == trace.ops().size(),
+                 "trace round-trip changed the op count");
+    for (std::size_t i = 0; i < trace.ops().size(); ++i) {
+        const Op &a = trace.ops()[i];
+        const Op &b = again.ops()[i];
+        PROSE_ASSERT(a.kind == b.kind && a.sublayer == b.sublayer &&
+                         a.layer == b.layer && a.batch == b.batch &&
+                         a.m == b.m && a.k == b.k && a.n == b.n &&
+                         a.broadcast == b.broadcast,
+                     "trace round-trip changed an op");
+    }
+    std::ostringstream out2;
+    writeTrace(out2, again);
+    PROSE_ASSERT(out2.str() == out.str(),
+                 "trace serialization is not a fixed point");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Weights-checkpoint loader harness. The format is exact (magic,
+ * version, dims, raw fp32), so any accepted buffer must re-serialize
+ * to the identical bytes. Uses a mini config whose full checkpoint
+ * (~30 KiB) fits under the harness input cap, so the fuzzer can reach
+ * the accept path from the committed valid-checkpoint seed.
+ */
+
+#include <sstream>
+
+#include "fuzz_common.hh"
+#include "model/bert_config.hh"
+#include "model/weights_io.hh"
+
+using namespace prose;
+
+namespace {
+
+BertConfig
+miniConfig()
+{
+    BertConfig config;
+    config.hidden = 16;
+    config.layers = 1;
+    config.heads = 2;
+    config.intermediate = 32;
+    config.maxSeqLen = 16;
+    return config;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    static const BertConfig config = miniConfig();
+    if (size > fuzz::kMaxInputBytes)
+        return 0;
+    const std::string bytes = fuzz::textFromBytes(data, size);
+    BertWeights weights;
+    const bool accepted = fuzz::guardedParse(
+        [&] { weights = readWeightsBuffer(bytes, config); });
+    if (!accepted)
+        return 0;
+
+    std::ostringstream out;
+    writeWeights(out, config, weights);
+    PROSE_ASSERT(out.str() == bytes,
+                 "accepted checkpoint did not re-serialize bit-exactly");
+    return 0;
+}

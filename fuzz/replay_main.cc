@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Corpus-replay driver: gives every fuzz harness a plain main() so the
+ * committed corpora run as deterministic ctest cases in the default
+ * (GCC, no-fuzzer) build. Each argument is a corpus file or directory;
+ * directories are walked non-recursively in sorted order so the replay
+ * sequence is stable across filesystems.
+ *
+ * `--mutate N` additionally replays N deterministic xorshift mutants of
+ * each seed — a poor man's fuzzer for local smoke exploration where
+ * libFuzzer is unavailable. The mutation stream depends only on the
+ * seed bytes and the iteration index, never on wall clock or ASLR.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+readFileBytes(const fs::path &path, std::vector<std::uint8_t> &bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    return !in.bad();
+}
+
+std::uint64_t
+xorshift(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+/** Deterministic in-place mutation: a few byte flips/overwrites plus
+ *  an occasional truncation, seeded by content hash and round. */
+void
+mutate(std::vector<std::uint8_t> &bytes, std::uint64_t round)
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ull ^ (round + 1);
+    for (std::uint8_t b : bytes)
+        state = state * 1099511628211ull + b;
+    if (bytes.empty()) {
+        bytes.push_back(static_cast<std::uint8_t>(xorshift(state)));
+        return;
+    }
+    const std::uint64_t edits = 1 + xorshift(state) % 8;
+    for (std::uint64_t e = 0; e < edits; ++e) {
+        const std::size_t pos = xorshift(state) % bytes.size();
+        switch (xorshift(state) % 3) {
+          case 0:
+            bytes[pos] ^= static_cast<std::uint8_t>(xorshift(state));
+            break;
+          case 1:
+            bytes[pos] = static_cast<std::uint8_t>(xorshift(state));
+            break;
+          case 2:
+            bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                         static_cast<std::uint8_t>(xorshift(state)));
+            break;
+        }
+    }
+    if (xorshift(state) % 4 == 0)
+        bytes.resize(1 + xorshift(state) % bytes.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t mutate_rounds = 0;
+    std::vector<fs::path> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--mutate") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--mutate needs a count\n");
+                return 2;
+            }
+            mutate_rounds = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+            continue;
+        }
+        const fs::path path(arg);
+        std::error_code ec;
+        if (fs::is_directory(path, ec)) {
+            std::vector<fs::path> entries;
+            for (const auto &entry : fs::directory_iterator(path))
+                if (entry.is_regular_file())
+                    entries.push_back(entry.path());
+            std::sort(entries.begin(), entries.end());
+            files.insert(files.end(), entries.begin(), entries.end());
+        } else if (fs::is_regular_file(path, ec)) {
+            files.push_back(path);
+        } else {
+            std::fprintf(stderr, "no such corpus input: %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    std::size_t executed = 0;
+    for (const fs::path &file : files) {
+        std::vector<std::uint8_t> bytes;
+        if (!readFileBytes(file, bytes)) {
+            std::fprintf(stderr, "cannot read corpus file: %s\n",
+                         file.string().c_str());
+            return 2;
+        }
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+        ++executed;
+        std::vector<std::uint8_t> mutant = bytes;
+        for (std::size_t round = 0; round < mutate_rounds; ++round) {
+            mutate(mutant, round);
+            LLVMFuzzerTestOneInput(mutant.data(), mutant.size());
+            ++executed;
+        }
+    }
+    std::printf("replayed %zu input%s over %zu corpus file%s\n",
+                executed, executed == 1 ? "" : "s", files.size(),
+                files.size() == 1 ? "" : "s");
+    return 0;
+}

@@ -1,0 +1,327 @@
+#!/usr/bin/env python3
+"""coverage_report — line-coverage aggregation and CI floor gating.
+
+Consumes the .gcda/.gcno data a PROSE_COVERAGE=ON build leaves behind
+(`cmake --preset coverage && ctest --preset coverage`), shells out to
+gcov's JSON mode (llvm-cov gcov as a fallback), and aggregates line
+coverage per src/ directory plus a set of individually gated parser
+files. Coverage floors live in scripts/coverage_baseline.json; any
+directory or gated file that falls below its committed floor fails the
+run, the same way a perf regression fails the perf gate.
+
+A header hit from several TUs is merged by line union (a line counts as
+covered if any TU executed it), so template/inline code is not
+penalized for showing up in many object files.
+
+Usage:
+  scripts/coverage_report.py --build-dir build-coverage         # gate
+  scripts/coverage_report.py --build-dir ... --update-baseline  # refloor
+  scripts/coverage_report.py --self-test
+
+--update-baseline rewrites the floors to the measured value minus a
+2-point safety margin (rounded down to one decimal), so incidental
+test reordering does not flap the gate. Raising a floor after adding
+tests is intentional and should be committed with those tests.
+
+Exit status: 0 clean, 1 a floor is violated, 2 usage/tool error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+from collections import defaultdict
+
+BASELINE_DEFAULT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "coverage_baseline.json")
+UPDATE_MARGIN = 2.0
+
+
+def find_gcov_tool():
+    """Prefer plain gcov (matches the GCC coverage build); fall back to
+    llvm-cov's gcov personality for clang-built .gcda data."""
+    if shutil.which("gcov"):
+        return ["gcov"]
+    if shutil.which("llvm-cov"):
+        return ["llvm-cov", "gcov"]
+    return None
+
+
+def iter_gcda_files(build_dir):
+    for dirpath, dirnames, filenames in os.walk(build_dir):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".gcda"):
+                yield os.path.join(dirpath, name)
+
+
+def gcov_json_docs(gcov_tool, gcda_path):
+    """One JSON document per source file the object touches."""
+    proc = subprocess.run(
+        gcov_tool + ["--json-format", "--stdout", gcda_path],
+        cwd=os.path.dirname(gcda_path),
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, check=False)
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def repo_relative(path, root):
+    """Normalize a gcov-reported source path to repo-relative, or None
+    for system/third-party sources."""
+    if not os.path.isabs(path):
+        path = os.path.normpath(os.path.join(root, path))
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:
+        return None
+    if rel.startswith(".."):
+        return None
+    return rel.replace(os.sep, "/")
+
+
+def merge_docs(docs, root):
+    """{repo-relative source: {line_number: max hit count}} across all
+    gcov documents."""
+    lines_by_file = defaultdict(dict)
+    for doc in docs:
+        for entry in doc.get("files", []):
+            rel = repo_relative(entry.get("file", ""), root)
+            if rel is None or not rel.startswith("src/"):
+                continue
+            merged = lines_by_file[rel]
+            for line in entry.get("lines", []):
+                number = line.get("line_number")
+                count = line.get("count", 0)
+                if number is None:
+                    continue
+                merged[number] = max(merged.get(number, 0), count)
+    return lines_by_file
+
+
+def summarize(lines_by_file):
+    """Per-file and per-directory (covered, total) line tallies."""
+    per_file = {}
+    per_dir = defaultdict(lambda: [0, 0])
+    for rel, lines in sorted(lines_by_file.items()):
+        total = len(lines)
+        covered = sum(1 for count in lines.values() if count > 0)
+        per_file[rel] = (covered, total)
+        directory = rel.rsplit("/", 1)[0]
+        per_dir[directory][0] += covered
+        per_dir[directory][1] += total
+    return per_file, {d: tuple(t) for d, t in per_dir.items()}
+
+
+def percent(covered, total):
+    return 100.0 * covered / total if total else 0.0
+
+
+def gate(per_file, per_dir, baseline):
+    """Returns a list of human-readable violations."""
+    violations = []
+    for directory, floor in sorted(baseline.get("directories", {}).items()):
+        covered, total = per_dir.get(directory, (0, 0))
+        got = percent(covered, total)
+        if total == 0:
+            violations.append(
+                f"{directory}: no coverage data (floor {floor:.1f}%) — "
+                "was the build configured with PROSE_COVERAGE=ON and "
+                "ctest run?")
+        elif got < floor:
+            violations.append(
+                f"{directory}: {got:.1f}% line coverage is below the "
+                f"committed floor of {floor:.1f}%")
+    for rel, floor in sorted(baseline.get("files", {}).items()):
+        covered, total = per_file.get(rel, (0, 0))
+        got = percent(covered, total)
+        if total == 0:
+            violations.append(
+                f"{rel}: no coverage data (floor {floor:.1f}%)")
+        elif got < floor:
+            violations.append(
+                f"{rel}: {got:.1f}% line coverage is below the "
+                f"committed floor of {floor:.1f}%")
+    return violations
+
+
+def floored(value):
+    """Measured value minus the safety margin, one decimal, >= 0."""
+    return max(0.0, int((value - UPDATE_MARGIN) * 10) / 10.0)
+
+
+def build_baseline(per_file, per_dir, old_baseline):
+    """New floors for exactly the directories/files the old baseline
+    gates (so adding a gate is always an explicit edit)."""
+    new = {"directories": {}, "files": {}}
+    for directory in old_baseline.get("directories", {}):
+        covered, total = per_dir.get(directory, (0, 0))
+        new["directories"][directory] = floored(percent(covered, total))
+    for rel in old_baseline.get("files", {}):
+        covered, total = per_file.get(rel, (0, 0))
+        new["files"][rel] = floored(percent(covered, total))
+    return new
+
+
+def print_report(per_file, per_dir, baseline, out=sys.stdout):
+    print("line coverage by directory:", file=out)
+    for directory, (covered, total) in sorted(per_dir.items()):
+        floor = baseline.get("directories", {}).get(directory)
+        gate_note = f"  (floor {floor:.1f}%)" if floor is not None else ""
+        print(f"  {directory:<28} {percent(covered, total):6.1f}%  "
+              f"({covered}/{total}){gate_note}", file=out)
+    gated_files = baseline.get("files", {})
+    if gated_files:
+        print("gated files:", file=out)
+        for rel, floor in sorted(gated_files.items()):
+            covered, total = per_file.get(rel, (0, 0))
+            print(f"  {rel:<44} {percent(covered, total):6.1f}%  "
+                  f"(floor {floor:.1f}%)", file=out)
+
+
+# --- self test ---------------------------------------------------------
+
+SELF_TEST_DOCS = [
+    # Two TUs both touch the header: the union must count line 3 as
+    # covered even though one TU never ran it.
+    {"files": [
+        {"file": "src/common/strutil.cc",
+         "lines": [{"line_number": 1, "count": 4},
+                   {"line_number": 2, "count": 0},
+                   {"line_number": 3, "count": 1}]},
+        {"file": "src/common/strutil.hh",
+         "lines": [{"line_number": 3, "count": 0}]},
+    ]},
+    {"files": [
+        {"file": "src/common/strutil.hh",
+         "lines": [{"line_number": 3, "count": 2},
+                   {"line_number": 4, "count": 0}]},
+        {"file": "/usr/include/c++/12/vector",
+         "lines": [{"line_number": 9, "count": 5}]},
+    ]},
+]
+
+
+def self_test():
+    lines = merge_docs(SELF_TEST_DOCS, root=os.getcwd())
+    per_file, per_dir = summarize(lines)
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    check("system headers excluded",
+          all(rel.startswith("src/") for rel in per_file))
+    check("cc tally", per_file.get("src/common/strutil.cc") == (2, 3))
+    check("header line union", per_file.get("src/common/strutil.hh")
+          == (1, 2))
+    check("directory roll-up", per_dir.get("src/common") == (3, 5))
+    check("percent", abs(percent(3, 5) - 60.0) < 1e-9)
+
+    baseline = {"directories": {"src/common": 55.0},
+                "files": {"src/common/strutil.cc": 70.0}}
+    violations = gate(per_file, per_dir, baseline)
+    check("file floor violated", len(violations) == 1
+          and violations[0].startswith("src/common/strutil.cc"))
+    baseline_ok = {"directories": {"src/common": 55.0}, "files": {}}
+    check("directory floor holds", not gate(per_file, per_dir,
+                                            baseline_ok))
+    baseline_missing = {"directories": {"src/serve": 80.0}, "files": {}}
+    check("missing data is a violation",
+          len(gate(per_file, per_dir, baseline_missing)) == 1)
+
+    refloored = build_baseline(per_file, per_dir, baseline)
+    check("refloor keeps gated keys",
+          set(refloored["files"]) == {"src/common/strutil.cc"})
+    check("refloor applies margin",
+          abs(refloored["directories"]["src/common"]
+              - floored(60.0)) < 1e-9)
+
+    if failures:
+        for name in failures:
+            print(f"self-test FAIL: {name}", file=sys.stderr)
+        return 1
+    print(f"self-test: {10}/{10} cases ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build-coverage",
+                        help="coverage build tree with .gcda data")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--baseline", default=BASELINE_DEFAULT,
+                        help="coverage floors JSON")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the floors from measured coverage")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded aggregation tests and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    build_dir = (args.build_dir if os.path.isabs(args.build_dir)
+                 else os.path.join(root, args.build_dir))
+    if not os.path.isdir(build_dir):
+        print(f"error: no build dir {build_dir}", file=sys.stderr)
+        return 2
+    gcov_tool = find_gcov_tool()
+    if gcov_tool is None:
+        print("error: neither gcov nor llvm-cov on PATH", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        baseline = {"directories": {}, "files": {}}
+
+    docs = []
+    gcda_count = 0
+    for gcda in iter_gcda_files(build_dir):
+        gcda_count += 1
+        docs.extend(gcov_json_docs(gcov_tool, gcda))
+    if gcda_count == 0:
+        print(f"error: no .gcda files under {build_dir} — build with "
+              "PROSE_COVERAGE=ON (the 'coverage' preset) and run ctest "
+              "first", file=sys.stderr)
+        return 2
+
+    lines = merge_docs(docs, root)
+    per_file, per_dir = summarize(lines)
+    print_report(per_file, per_dir, baseline)
+
+    if args.update_baseline:
+        new_baseline = build_baseline(per_file, per_dir, baseline)
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(new_baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    violations = gate(per_file, per_dir, baseline)
+    if violations:
+        print("", file=sys.stderr)
+        for violation in violations:
+            print(f"coverage gate: {violation}", file=sys.stderr)
+        print("\ncoverage gate: add tests (preferred) or re-floor "
+              "deliberately with --update-baseline and commit the "
+              "rationale", file=sys.stderr)
+        return 1
+    print("coverage gate: all floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

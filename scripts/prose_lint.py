@@ -35,6 +35,15 @@ mechanically enforces them:
                   which is the only writer that holds the log mutex, so
                   concurrent simulators never interleave lines. Tools
                   that legitimately produce stdout take an std::ostream&.
+  checked-parse   no naked std::stoi/stol/stod/atoi/strtol-family
+                  calls in src/ outside the checked helpers in
+                  src/common/strutil.{hh,cc} (thread_pool.cc's env shim
+                  stays allow-listed). The std conversions accept
+                  partial parses, clamp or throw on overflow, and let
+                  "nan" through range checks; parsers must use
+                  parseU64/parseU32/parseDouble/parseFiniteDouble,
+                  which report overflow as failure and consume the
+                  whole token.
   include-guard   src/*.hh include guards must match the canonical
                   PROSE_<DIR>_<FILE>_HH spelling (duplicated guards
                   silently drop declarations), and no header other than
@@ -78,6 +87,14 @@ GETENV_SHIMS = {
 # The only directory where x86 SIMD intrinsics may appear.
 INTRINSICS_DIR = "src/numerics/kernels"
 
+# Files that may call the std numeric conversions directly: the checked
+# helpers themselves, plus thread_pool.cc's long-standing env shim.
+CHECKED_PARSE_HELPERS = {
+    "src/common/strutil.hh",
+    "src/common/strutil.cc",
+    "src/common/thread_pool.cc",
+}
+
 # The one header that may include <iostream> (it IS the logging shim).
 IOSTREAM_HEADER_ALLOWED = {"src/common/logging.hh"}
 
@@ -101,6 +118,12 @@ UNORDERED_ITER_RE = re.compile(
 )
 
 GETENV_RE = re.compile(r"\bgetenv\s*\(")
+CHECKED_PARSE_RE = re.compile(
+    r"\b(?:std::\s*)?"
+    r"(?:stoi|stol|stoll|stoul|stoull|stof|stod|stold"
+    r"|atoi|atol|atoll|atof"
+    r"|strtol|strtoul|strtoll|strtoull|strtof|strtod|strtold)\s*\("
+)
 COUT_RE = re.compile(r"\bstd::cout\b|\bprintf\s*\(|\bfprintf\s*\(\s*stdout\b")
 
 INTRINSICS_RE = re.compile(
@@ -241,6 +264,16 @@ def lint_file(relpath, lines):
                     "getenv outside the designated config shims "
                     "(fsim_mode.cc, thread_pool.cc) — route new knobs "
                     "through one of them so runs stay reproducible"))
+
+        if (in_src and relpath not in CHECKED_PARSE_HELPERS
+                and "checked-parse" not in allow):
+            if CHECKED_PARSE_RE.search(code):
+                findings.append(Finding(
+                    "checked-parse", relpath, idx,
+                    "naked std numeric conversion — use the checked "
+                    "strutil helpers (parseU64/parseU32/parseDouble/"
+                    "parseFiniteDouble), which reject partial parses, "
+                    "overflow, and NaN instead of clamping or throwing"))
 
         if in_src and "no-cout" not in allow:
             if COUT_RE.search(code):
@@ -389,6 +422,26 @@ SELF_TESTS = [
     ("getenv in kernel dispatch shim fine",
      "src/numerics/kernels/kernel_dispatch.cc",
      'const char *v = std::getenv("PROSE_SIMD");', []),
+    ("stoi flagged", "src/accel/foo.cc",
+     "int x = std::stoi(text);", ["checked-parse"]),
+    ("stoull flagged", "src/trace/foo.cc",
+     "auto v = std::stoull(token, &pos);", ["checked-parse"]),
+    ("strtod flagged", "src/fault/foo.cc",
+     "double d = strtod(s.c_str(), &end);", ["checked-parse"]),
+    ("atoi flagged", "src/serve/foo.cc",
+     "int n = atoi(argv[1]);", ["checked-parse"]),
+    ("strtod in strutil helper fine", "src/common/strutil.cc",
+     "double d = std::strtod(text.c_str(), &end);", []),
+    ("strtoul in thread pool shim fine", "src/common/thread_pool.cc",
+     "auto n = std::strtoul(env, nullptr, 10);", []),
+    ("checked-parse marker honored", "src/accel/foo.cc",
+     "int x = std::stoi(t);  // prose-lint: allow(checked-parse)", []),
+    ("stoi in comment ignored", "src/accel/foo.cc",
+     "// previously used std::stoi(text) here", []),
+    ("stoi in string ignored", "src/accel/foo.cc",
+     'warn("do not use std::stoi(text)");', []),
+    ("custom parse helper name fine", "src/accel/foo.cc",
+     "auto v = parseU64(text, value);", []),
 ]
 
 
@@ -423,7 +476,8 @@ def main():
 
     if args.list_rules:
         for rule in ("float-eq", "unordered-iter", "naked-getenv",
-                     "no-cout", "include-guard", "intrinsics"):
+                     "no-cout", "include-guard", "intrinsics",
+                     "checked-parse"):
             print(rule)
         return 0
     if args.self_test:

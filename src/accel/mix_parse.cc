@@ -1,7 +1,6 @@
 #include "mix_parse.hh"
 
 #include <cctype>
-#include <limits>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -16,18 +15,21 @@ namespace {
 std::uint32_t
 parseCount(const std::string &text, const std::string &context)
 {
-    if (text.empty())
-        fatal("missing number in ", context);
-    std::uint64_t value = 0;
-    for (char ch : text) {
-        if (!std::isdigit(static_cast<unsigned char>(ch)))
-            fatal("'", text, "' is not a number in ", context);
-        value = value * 10 + static_cast<std::uint64_t>(ch - '0');
-        if (value > std::numeric_limits<std::uint32_t>::max())
-            fatal("'", text, "' is out of range in ", context);
-    }
-    return static_cast<std::uint32_t>(value);
+    std::uint32_t value = 0;
+    if (!parseU32(text, value))
+        fatal("'", text, "' is not an in-range number in ", context);
+    return value;
 }
+
+/**
+ * An array dimension or group count beyond any plausible hardware is
+ * malformed input: downstream consumers size dim^2 accumulator files
+ * and per-instance vectors from these fields, so a fuzzer (or a typo)
+ * writing "M999999999x1" must die here with a message, not inside an
+ * allocator.
+ */
+constexpr std::uint32_t kMaxArrayDim = 4096;
+constexpr std::uint32_t kMaxGroupCount = 65536;
 
 } // namespace
 
@@ -52,6 +54,12 @@ parseMixSpec(const std::string &spec)
             fatal("group '", part, "' has a zero array dimension");
         if (count == 0)
             fatal("group '", part, "' has a zero count");
+        if (dim > kMaxArrayDim)
+            fatal("group '", part, "' array dimension ", dim,
+                  " exceeds the ", kMaxArrayDim, " sanity bound");
+        if (count > kMaxGroupCount)
+            fatal("group '", part, "' count ", count, " exceeds the ",
+                  kMaxGroupCount, " sanity bound");
 
         ArrayGroupSpec group;
         switch (type_char) {
@@ -104,6 +112,18 @@ configFromSpec(const std::string &mix_spec, const std::string &lane_spec,
     config.groups = parseMixSpec(mix_spec);
     config.link = link;
     config.lanes = parseLaneSpec(lane_spec);
+    // Semantic errors a user can spell in the two strings must be
+    // user-error fatal()s with a parse-level message; validate()'s
+    // PROSE_ASSERTs abort(), which is reserved for simulator bugs.
+    if (config.arrayCount(ArrayType::M) == 0 ||
+        config.arrayCount(ArrayType::G) == 0 ||
+        config.arrayCount(ArrayType::E) == 0)
+        fatal("mix spec '", mix_spec, "' needs at least one array of "
+              "each type M, G, and E");
+    if (config.lanes.total() != link.lanes)
+        fatal("lane spec '", lane_spec, "' partitions ",
+              config.lanes.total(), " lanes but the ", link.name,
+              " link has ", link.lanes);
     config.validate();
     return config;
 }

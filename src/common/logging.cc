@@ -13,6 +13,16 @@ quietFlag()
     return quiet;
 }
 
+bool &
+fatalThrowsFlag()
+{
+    // Thread-local: one thread probing a loader under ScopedFatalThrow
+    // must not turn a concurrent thread's genuine fatal() into an
+    // exception unwinding through unrelated stack frames.
+    static thread_local bool throws = false;
+    return throws;
+}
+
 void
 emitLog(LogLevel level, const std::string &msg)
 {

@@ -14,9 +14,24 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace prose {
+
+/**
+ * The exception fatal() raises while a ScopedFatalThrow is active.
+ * Carries the formatted message; nothing is written to stderr in that
+ * mode, so a fuzzer or replay driver probing millions of malformed
+ * inputs stays quiet and alive.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
 
 /** Severity of a log message. */
 enum class LogLevel { Info, Warn, Fatal, Panic };
@@ -39,6 +54,10 @@ void emitLog(LogLevel level, const std::string &msg);
 
 /** Whether informational messages are suppressed (for quiet tools). */
 bool &quietFlag();
+
+/** Whether fatal() throws FatalError on this thread (see
+ *  ScopedFatalThrow). */
+bool &fatalThrowsFlag();
 
 } // namespace detail
 
@@ -70,16 +89,43 @@ warn(Args &&...args)
 
 /**
  * Terminate because of a user-caused error (bad configuration or
- * arguments). Exits with status 1; never returns.
+ * arguments). Exits with status 1; never returns. While a
+ * ScopedFatalThrow is active on this thread it throws FatalError
+ * instead, so loaders can be probed with untrusted input (fuzzing,
+ * error-path tests) without killing the process.
  */
 template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)
 {
-    detail::emitLog(LogLevel::Fatal,
-                    detail::concat(std::forward<Args>(args)...));
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    if (detail::fatalThrowsFlag())
+        throw FatalError(msg);
+    detail::emitLog(LogLevel::Fatal, msg);
     std::exit(1);
 }
+
+/**
+ * RAII guard: while alive, fatal() on this thread throws FatalError
+ * (quietly — no stderr line) instead of exiting. panic() is untouched:
+ * an internal invariant violation must still abort, which is exactly
+ * the crash/no-crash split the fuzz harnesses rely on. Nests safely.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow()
+        : prev_(detail::fatalThrowsFlag())
+    {
+        detail::fatalThrowsFlag() = true;
+    }
+    ~ScopedFatalThrow() { detail::fatalThrowsFlag() = prev_; }
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+
+  private:
+    bool prev_;
+};
 
 /**
  * Terminate because of an internal invariant violation (a ProSE bug).

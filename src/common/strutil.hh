@@ -1,12 +1,18 @@
 /**
  * @file
  * Small string utilities used by FASTA parsing, CLI handling, and report
- * formatting.
+ * formatting — plus the checked numeric conversions every text loader
+ * must use instead of naked strtol/strtod/std::stoi (enforced by the
+ * prose_lint `checked-parse` rule). The checked parsers consume the
+ * whole string, report overflow instead of clamping or wrapping, and
+ * never accept sign/whitespace prefixes on unsigned fields — the
+ * failure modes the fuzz harnesses found in the hand-rolled call sites.
  */
 
 #ifndef PROSE_COMMON_STRUTIL_HH
 #define PROSE_COMMON_STRUTIL_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +33,41 @@ bool startsWith(const std::string &s, const std::string &prefix);
 /** Join items with a separator. */
 std::string join(const std::vector<std::string> &items,
                  const std::string &sep);
+
+/** @name Checked numeric conversion
+ *
+ * Each parser returns true and writes `out` only when `text` is
+ * exactly one well-formed number with nothing before or after it;
+ * on any failure `out` is untouched and false is returned. Overflow
+ * is a failure, never a clamp or a silent wrap.
+ * @{ */
+
+/**
+ * Parse a base-10 unsigned 64-bit integer. Digits only: no leading
+ * whitespace, no '+'/'-' (a '-' before an unsigned field must be a
+ * reported error, not a two's-complement wrap), no hex, no empty
+ * string. Fails on values above 2^64-1.
+ */
+bool parseU64(const std::string &text, std::uint64_t &out);
+
+/** parseU64 restricted to [0, 2^32-1]; larger values fail instead of
+ *  being truncated to the low 32 bits. */
+bool parseU32(const std::string &text, std::uint32_t &out);
+
+/**
+ * Parse a double with strtod syntax but full-string consumption.
+ * Accepts infinities and NaNs spelled literally ("inf", "nan");
+ * callers holding a range contract should use parseFiniteDouble.
+ * Out-of-range magnitudes (overflow to +-inf) are a failure.
+ */
+bool parseDouble(const std::string &text, double &out);
+
+/** parseDouble that additionally rejects non-finite results — the
+ *  right spelling for every rate/time/fraction field a validator will
+ *  range-check, since NaN slides through `x < lo || x > hi`. */
+bool parseFiniteDouble(const std::string &text, double &out);
+
+/** @} */
 
 } // namespace prose
 

@@ -1,6 +1,6 @@
 #include "campaign.hh"
 
-#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -51,12 +51,17 @@ FaultEvent::describe() const
 
 namespace {
 
+/**
+ * Rates and times must be finite: strtod-style parsing accepts "nan"
+ * and "inf", and a NaN rate slides straight through the
+ * `rate < 0 || rate > 1` validation (both comparisons are false), so
+ * the finiteness check belongs to the parse, not the validator.
+ */
 double
 parseRate(const std::string &value, const std::string &key)
 {
-    char *end = nullptr;
-    const double rate = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0')
+    double rate = 0.0;
+    if (!parseFiniteDouble(value, rate))
         fatal("campaign spec: bad number for ", key, ": '", value, "'");
     return rate;
 }
@@ -64,11 +69,22 @@ parseRate(const std::string &value, const std::string &key)
 std::uint64_t
 parseUint(const std::string &value, const std::string &key)
 {
-    char *end = nullptr;
-    const unsigned long long parsed =
-        std::strtoull(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0')
-        fatal("campaign spec: bad integer for ", key, ": '", value, "'");
+    std::uint64_t parsed = 0;
+    if (!parseU64(value, parsed))
+        fatal("campaign spec: bad unsigned integer for ", key, ": '",
+              value, "'");
+    return parsed;
+}
+
+/** 32-bit fields reject large values instead of truncating: a stuck
+ *  bit at row 2^32+3 must not silently become row 3. */
+std::uint32_t
+parseUint32(const std::string &value, const std::string &key)
+{
+    std::uint32_t parsed = 0;
+    if (!parseU32(value, parsed))
+        fatal("campaign spec: bad 32-bit unsigned integer for ", key,
+              ": '", value, "'");
     return parsed;
 }
 
@@ -107,10 +123,8 @@ CampaignSpec::parse(const std::string &text)
             if (parts.size() != 2)
                 fatal("campaign spec: flip_bits wants low:high, got '",
                       value, "'");
-            spec.flipBitLow =
-                static_cast<std::uint32_t>(parseUint(parts[0], key));
-            spec.flipBitHigh =
-                static_cast<std::uint32_t>(parseUint(parts[1], key));
+            spec.flipBitLow = parseUint32(parts[0], key);
+            spec.flipBitHigh = parseUint32(parts[1], key);
         } else if (key == "stuck") {
             const auto parts = split(value, ':');
             if (parts.size() != 5)
@@ -118,9 +132,9 @@ CampaignSpec::parse(const std::string &text)
                       "site:row:col:bit:value, got '", value, "'");
             StuckBitFault stuck;
             stuck.site = parts[0];
-            stuck.row = static_cast<std::uint32_t>(parseUint(parts[1], key));
-            stuck.col = static_cast<std::uint32_t>(parseUint(parts[2], key));
-            stuck.bit = static_cast<std::uint32_t>(parseUint(parts[3], key));
+            stuck.row = parseUint32(parts[1], key);
+            stuck.col = parseUint32(parts[2], key);
+            stuck.bit = parseUint32(parts[3], key);
             stuck.stuckHigh = parseUint(parts[4], key) != 0;
             spec.stuckBits.push_back(std::move(stuck));
         } else if (key == "link_error_rate") {
@@ -135,7 +149,7 @@ CampaignSpec::parse(const std::string &text)
                       "type:index@seconds, got '", value, "'");
             ArrayKill kill;
             kill.typeCode = parts[0][0];
-            kill.index = static_cast<std::uint32_t>(parseUint(parts[1], key));
+            kill.index = parseUint32(parts[1], key);
             kill.atSeconds = at;
             spec.arrayKills.push_back(kill);
         } else if (key == "kill_instance") {
@@ -144,14 +158,19 @@ CampaignSpec::parse(const std::string &text)
                 fatal("campaign spec: kill_instance needs an @seconds "
                       "or @#arrival suffix: '", value, "'");
             InstanceKill kill;
-            kill.instance = static_cast<std::uint32_t>(
-                parseUint(value.substr(0, at_pos), key));
+            kill.instance = parseUint32(value.substr(0, at_pos), key);
             const std::string when = value.substr(at_pos + 1);
             if (!when.empty() && when[0] == '#') {
                 // Arrival-indexed: the instance dies when request #N
-                // of the open-loop stream arrives.
-                kill.atArrival = static_cast<std::int64_t>(
-                    parseUint(when.substr(1), key));
+                // of the open-loop stream arrives. Bounded so the
+                // int64 sentinel encoding (-1 = unset) stays exact.
+                const std::uint64_t arrival =
+                    parseUint(when.substr(1), key);
+                if (arrival > static_cast<std::uint64_t>(
+                                  std::numeric_limits<std::int64_t>::max()))
+                    fatal("campaign spec: kill_instance arrival index ",
+                          arrival, " is out of range");
+                kill.atArrival = static_cast<std::int64_t>(arrival);
             } else {
                 kill.atSeconds = parseRate(when, key);
             }
@@ -200,7 +219,10 @@ void
 CampaignSpec::validate() const
 {
     auto checkRate = [](double rate, const char *what) {
-        if (rate < 0.0 || rate > 1.0)
+        // The negated form catches NaN, which passes both `rate < 0`
+        // and `rate > 1` and would otherwise arm the injector with a
+        // rate every comparison answers "false" about.
+        if (!(rate >= 0.0 && rate <= 1.0))
             fatal("campaign spec: ", what, " must be in [0, 1], got ",
                   rate);
     };
@@ -222,7 +244,7 @@ CampaignSpec::validate() const
             kill.typeCode != 'E')
             fatal("campaign spec: kill_array type '",
                   std::string(1, kill.typeCode), "' is not M/G/E");
-        if (kill.atSeconds < 0.0)
+        if (!(kill.atSeconds >= 0.0))
             fatal("campaign spec: kill_array time must be >= 0");
     }
     for (const InstanceKill &kill : instanceKills) {

@@ -31,6 +31,19 @@ class AminoTokenizer
   public:
     AminoTokenizer();
 
+    /**
+     * Build a tokenizer from vocabulary text: one token per line, the
+     * five specials "[PAD] [UNK] [CLS] [SEP] [MASK]" in exactly that
+     * order, then one residue letter per line (id order). Blank lines
+     * and '#' comments are skipped; residues are upcased. Fatal on
+     * out-of-order specials, multi-character or non-letter residues,
+     * duplicates, or an empty alphabet.
+     */
+    static AminoTokenizer fromVocabText(const std::string &text);
+
+    /** Canonical vocab text; fromVocabText(vocabText()) round-trips. */
+    std::string vocabText() const;
+
     /** Total vocabulary size (specials + alphabet). */
     std::uint32_t vocabSize() const;
 
@@ -56,6 +69,9 @@ class AminoTokenizer
     const std::string &alphabet() const { return alphabet_; }
 
   private:
+    /** Install a residue alphabet and rebuild the char→id table. */
+    void setAlphabet(const std::string &alphabet);
+
     std::string alphabet_;
     std::int32_t charToId_[256];
 };

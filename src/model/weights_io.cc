@@ -4,6 +4,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -147,6 +148,16 @@ readWeights(std::istream &in, const BertConfig &config)
     visitTensors(
         weights, [&](Matrix &m) { readMatrix(in, m); },
         [&](std::vector<float> &v) { readVector(in, v); });
+    return weights;
+}
+
+BertWeights
+readWeightsBuffer(const std::string &bytes, const BertConfig &config)
+{
+    std::istringstream in(bytes);
+    BertWeights weights = readWeights(in, config);
+    if (in.peek() != std::char_traits<char>::eof())
+        fatal("trailing bytes after weights checkpoint buffer");
     return weights;
 }
 

@@ -34,6 +34,14 @@ void writeWeightsFile(const std::string &path, const BertConfig &config,
  */
 BertWeights readWeights(std::istream &in, const BertConfig &config);
 
+/**
+ * Load from an in-memory byte buffer, with the same trailing-junk
+ * check the file loader applies. This is the fuzzing/testing entry
+ * point: untrusted bytes in, a checkpoint or a fatal() out.
+ */
+BertWeights readWeightsBuffer(const std::string &bytes,
+                              const BertConfig &config);
+
 /** Load from a file path (fatal on I/O failure). */
 BertWeights readWeightsFile(const std::string &path,
                             const BertConfig &config);

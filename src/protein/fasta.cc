@@ -1,5 +1,6 @@
 #include "fasta.hh"
 
+#include <cctype>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -48,8 +49,20 @@ readFasta(std::istream &in)
             if (!have_record)
                 fatal("FASTA sequence data before any '>' header");
             for (char ch : toUpper(line)) {
-                if (!std::isspace(static_cast<unsigned char>(ch)))
-                    current.sequence.push_back(ch);
+                if (std::isspace(static_cast<unsigned char>(ch)))
+                    continue;
+                // Residue letters plus the conventional '*' (stop) and
+                // '-' (gap) only. Swallowing arbitrary bytes is not
+                // just sloppy: a '>' absorbed into a sequence lands at
+                // a line start once the 60-column writer re-wraps it,
+                // and the round-tripped file parses as a different
+                // record list.
+                if (!std::isalpha(static_cast<unsigned char>(ch)) &&
+                    ch != '*' && ch != '-')
+                    fatal("invalid character '", std::string(1, ch),
+                          "' in sequence of FASTA record '", current.id,
+                          "'");
+                current.sequence.push_back(ch);
             }
         }
     }

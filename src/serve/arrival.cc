@@ -1,8 +1,8 @@
 #include "arrival.hh"
 
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -179,9 +179,8 @@ double
 parseTraceNumber(const std::string &value, const char *key,
                  const std::string &origin, std::size_t line_no)
 {
-    char *end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0' || !std::isfinite(parsed))
+    double parsed = 0.0;
+    if (!parseFiniteDouble(value, parsed))
         fatal(origin, ":", line_no, ": bad number for ", key, ": '",
               value, "'");
     return parsed;
@@ -191,17 +190,10 @@ std::uint64_t
 parseTraceUint(const std::string &value, const char *key,
                const std::string &origin, std::size_t line_no)
 {
-    if (value.empty() || value.find_first_not_of("0123456789") !=
-                             std::string::npos)
+    std::uint64_t parsed = 0;
+    if (!parseU64(value, parsed))
         fatal(origin, ":", line_no, ": bad non-negative integer for ",
               key, ": '", value, "'");
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long parsed =
-        std::strtoull(value.c_str(), &end, 10);
-    if (errno == ERANGE)
-        fatal(origin, ":", line_no, ": ", key, "=", value,
-              " overflows a 64-bit count");
     return parsed;
 }
 
@@ -245,8 +237,14 @@ parseArrivalTrace(std::istream &in, const std::string &origin)
                           "proteins are not a workload");
                 have_len = true;
             } else if (key == "prio") {
-                rec.priority = static_cast<std::uint32_t>(
-                    parseTraceUint(value, "prio", origin, line_no));
+                const std::uint64_t prio =
+                    parseTraceUint(value, "prio", origin, line_no);
+                if (prio > std::numeric_limits<std::uint32_t>::max())
+                    fatal(origin, ":", line_no, ": prio=", value,
+                          " does not fit 32 bits (it would silently "
+                          "truncate to ", static_cast<std::uint32_t>(prio),
+                          ")");
+                rec.priority = static_cast<std::uint32_t>(prio);
             } else if (key == "slo") {
                 rec.sloSeconds =
                     parseTraceNumber(value, "slo", origin, line_no);

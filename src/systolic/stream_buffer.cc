@@ -68,9 +68,18 @@ StreamBuffer::fill()
 void
 StreamBuffer::setFillProfile(std::vector<double> rates)
 {
-    for (double rate : rates)
+    double period_total = 0.0;
+    for (double rate : rates) {
         PROSE_ASSERT(rate >= 0.0,
                      "negative fill-profile rate: ", rate);
+        period_total += rate;
+    }
+    // An all-zero period never delivers an element, so tick() can never
+    // succeed and the stepped engine livelocks (found by
+    // fuzz_engine_equiv; see tests/fuzz/corpus/engine_equiv).
+    PROSE_ASSERT(rates.empty() || period_total > 0.0,
+                 "fill profile supplies nothing over its period; the "
+                 "array would stall forever");
     fillProfile_ = std::move(rates);
 }
 

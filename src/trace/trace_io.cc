@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -64,6 +65,34 @@ writeTraceFile(const std::string &path, const OpTrace &trace)
     writeTrace(out, trace);
 }
 
+namespace {
+
+/**
+ * Dimension fields are parsed with the checked strutil conversions
+ * instead of istream >>: num_get happily reads "-1" into a uint64_t as
+ * 2^64-1 (sign-wrapped, no failbit), and a trace claiming an
+ * 18-quintillion-row matmul would only die later, inside whichever
+ * consumer tried to allocate it. Anything beyond 2^32 per dimension is
+ * malformed input here, with a line number.
+ */
+constexpr std::uint64_t kMaxTraceDim = 1ull << 32;
+
+std::uint64_t
+parseTraceDim(const std::string &text, const char *what,
+              std::size_t line_no, const std::string &line)
+{
+    std::uint64_t value = 0;
+    if (!parseU64(text, value))
+        fatal("bad ", what, " '", text, "' on trace line ", line_no,
+              ": '", line, "'");
+    if (value > kMaxTraceDim)
+        fatal(what, " ", value, " on trace line ", line_no,
+              " exceeds the ", kMaxTraceDim, " sanity bound");
+    return value;
+}
+
+} // namespace
+
 OpTrace
 readTrace(std::istream &in)
 {
@@ -76,21 +105,40 @@ readTrace(std::istream &in)
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream fields(line);
-        std::string kind, sublayer;
+        std::vector<std::string> tokens;
+        std::string token;
+        while (fields >> token)
+            tokens.push_back(token);
+        if (tokens.size() != 8)
+            fatal("malformed trace line ", line_no, " (want 8 fields, "
+                  "got ", tokens.size(), "): '", line, "'");
+
+        // layer is the one signed field: -1 marks embedding/downstream
+        // ops that belong to no encoder layer.
         int layer = -1;
-        std::uint64_t batch = 0, m = 0, k = 0, n = 0;
-        int broadcast = 0;
-        if (!(fields >> kind >> sublayer >> layer >> batch >> m >> k >>
-              n >> broadcast)) {
-            fatal("malformed trace line ", line_no, ": '", line, "'");
+        if (tokens[2] != "-1") {
+            std::uint32_t layer_parsed = 0;
+            if (!parseU32(tokens[2], layer_parsed) ||
+                layer_parsed > static_cast<std::uint32_t>(
+                                   std::numeric_limits<int>::max()))
+                fatal("bad layer '", tokens[2], "' on trace line ",
+                      line_no, ": '", line, "'");
+            layer = static_cast<int>(layer_parsed);
         }
-        std::string excess;
-        if (fields >> excess)
-            fatal("trailing fields on trace line ", line_no, ": '", line,
-                  "'");
-        trace.record(opKindFromString(kind),
-                     sublayerFromString(sublayer), layer, batch, m, k, n,
-                     broadcast != 0);
+        const std::uint64_t batch =
+            parseTraceDim(tokens[3], "batch", line_no, line);
+        const std::uint64_t m = parseTraceDim(tokens[4], "m", line_no,
+                                              line);
+        const std::uint64_t k = parseTraceDim(tokens[5], "k", line_no,
+                                              line);
+        const std::uint64_t n = parseTraceDim(tokens[6], "n", line_no,
+                                              line);
+        if (tokens[7] != "0" && tokens[7] != "1")
+            fatal("bad broadcast flag '", tokens[7], "' on trace line ",
+                  line_no, ": '", line, "'");
+        trace.record(opKindFromString(tokens[0]),
+                     sublayerFromString(tokens[1]), layer, batch, m, k,
+                     n, tokens[7] == "1");
     }
     if (in.bad())
         fatal("I/O error while reading trace input");

@@ -52,7 +52,7 @@ TEST(MixParseDeathTest, MalformedGroupIsFatal)
     EXPECT_EXIT(parseMixSpec("M64x0,G16x1,E16x1"),
                 testing::ExitedWithCode(1), "zero count");
     EXPECT_EXIT(parseMixSpec("M64xtwo"), testing::ExitedWithCode(1),
-                "not a number");
+                "not an in-range number");
     EXPECT_EXIT(parseMixSpec(""), testing::ExitedWithCode(1), "empty");
 }
 
@@ -67,11 +67,47 @@ TEST(MixParseDeathTest, OverflowingCountIsCleanError)
     // A digit string past 32 bits must be a fatal() diagnostic, not an
     // uncaught std::out_of_range from the parser internals.
     EXPECT_EXIT(parseMixSpec("M64x99999999999999999999"),
-                testing::ExitedWithCode(1), "out of range");
+                testing::ExitedWithCode(1), "not an in-range number");
     EXPECT_EXIT(parseMixSpec("M4294967296x2"),
-                testing::ExitedWithCode(1), "out of range");
+                testing::ExitedWithCode(1), "not an in-range number");
     EXPECT_EXIT(parseLaneSpec("3,99999999999999999999,3"),
-                testing::ExitedWithCode(1), "out of range");
+                testing::ExitedWithCode(1), "not an in-range number");
+}
+
+// Fuzzing regressions (see tests/fuzz/corpus/mix_parse): dimensions and
+// counts used to be unbounded, so "M99999x99999" survived parsing and
+// only died OOM-allocating the instance list downstream.
+TEST(MixParseDeathTest, SanityBoundsRejectHugeDimsAndCounts)
+{
+    EXPECT_EXIT(parseMixSpec("M8192x1,G16x1,E16x1"),
+                testing::ExitedWithCode(1), "sanity bound");
+    EXPECT_EXIT(parseMixSpec("M64x1,G16x1,E16x99999"),
+                testing::ExitedWithCode(1), "sanity bound");
+}
+
+TEST(MixParse, BoundaryDimAndCountStillParse)
+{
+    const auto groups = parseMixSpec("M4096x1,G16x1,E16x65536");
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0].geometry.dim, 4096u);
+    EXPECT_EQ(groups[2].count, 65536u);
+}
+
+// configFromSpec assembles text input into a config; a malformed spec
+// must die in fatal() (user error, exit 1) before it can ever reach
+// ProseConfig::validate()'s PROSE_ASSERT (simulator bug, abort).
+TEST(MixParseDeathTest, ConfigFromSpecRejectsLaneMismatchCleanly)
+{
+    EXPECT_EXIT(configFromSpec("M64x2,G16x1,E16x1", "9,9,9",
+                               LinkSpec::nvlink2At90()),
+                testing::ExitedWithCode(1), "lane");
+}
+
+TEST(MixParseDeathTest, ConfigFromSpecRejectsMissingTypeCleanly)
+{
+    EXPECT_EXIT(configFromSpec("G16x4,E16x4", "3,1,2",
+                               LinkSpec::nvlink2At90()),
+                testing::ExitedWithCode(1), "at least one array");
 }
 
 TEST(MixParseDeathTest, DuplicateTypeIsFatal)

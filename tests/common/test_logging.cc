@@ -105,5 +105,56 @@ TEST(LoggingDeathTest, FatalExitsWithStatusOne)
                 "bad config");
 }
 
+TEST(ScopedFatalThrowTest, FatalThrowsQuietlyWhileGuardIsAlive)
+{
+    ScopedFatalThrow guard;
+    EXPECT_THROW(fatal("rejected: ", 42), FatalError);
+    try {
+        fatal("rejected: ", 42);
+    } catch (const FatalError &error) {
+        EXPECT_STREQ(error.what(), "rejected: 42");
+    }
+}
+
+TEST(ScopedFatalThrowTest, GuardsNestAndRestore)
+{
+    {
+        ScopedFatalThrow outer;
+        {
+            ScopedFatalThrow inner;
+            EXPECT_THROW(fatal("inner"), FatalError);
+        }
+        // Destroying the inner guard must not disarm the outer one.
+        EXPECT_THROW(fatal("outer"), FatalError);
+    }
+}
+
+TEST(ScopedFatalThrowTest, GuardIsThreadLocal)
+{
+    ScopedFatalThrow guard;
+    bool other_thread_threw = false;
+    std::thread probe([&] {
+        // This thread has no guard: fatal() here would exit the whole
+        // process, so only verify the flag via a nested guard.
+        ScopedFatalThrow local;
+        try {
+            fatal("thread-local");
+        } catch (const FatalError &) {
+            other_thread_threw = true;
+        }
+    });
+    probe.join();
+    EXPECT_TRUE(other_thread_threw);
+    EXPECT_THROW(fatal("still armed"), FatalError);
+}
+
+TEST(ScopedFatalThrowDeathTest, PanicStillAbortsUnderTheGuard)
+{
+    // The guard only demotes fatal() (user error); panic() is a
+    // simulator bug and must stay un-catchable.
+    ScopedFatalThrow guard;
+    EXPECT_DEATH(panic("engine divergence"), "engine divergence");
+}
+
 } // namespace
 } // namespace prose

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "fault/campaign.hh"
 
 namespace prose {
@@ -128,6 +130,61 @@ TEST(CampaignSpecDeathTest, ValidateRejectsBadRatesAndWindows)
     CampaignSpec kill;
     kill.arrayKills.push_back(ArrayKill{ 'X', 0, 1e-3 });
     EXPECT_EXIT(kill.validate(), testing::ExitedWithCode(1), "type");
+}
+
+// Regressions from the parser fuzzing pass: every one of these used to
+// slip through strtod/strtoull leniency (see tests/fuzz/corpus/campaign).
+TEST(CampaignSpecDeathTest, NanAndInfRatesAreRejected)
+{
+    // nan compares false to every bound, so (rate < 0 || rate > 1)
+    // never fired and a NaN rate reached the injector RNG.
+    EXPECT_EXIT(CampaignSpec::parse("acc_flip_rate=nan"),
+                testing::ExitedWithCode(1), "bad");
+    EXPECT_EXIT(CampaignSpec::parse("acc_flip_rate=inf"),
+                testing::ExitedWithCode(1), "bad");
+    EXPECT_EXIT(CampaignSpec::parse("link_error_rate=-nan"),
+                testing::ExitedWithCode(1), "bad");
+}
+
+TEST(CampaignSpecDeathTest, NegativeAndOverflowingSeedsAreRejected)
+{
+    // strtoull silently wrapped "-5" to 2^64-5 and clamped overflow.
+    EXPECT_EXIT(CampaignSpec::parse("seed=-5"),
+                testing::ExitedWithCode(1), "bad");
+    EXPECT_EXIT(CampaignSpec::parse("seed=99999999999999999999"),
+                testing::ExitedWithCode(1), "bad");
+}
+
+TEST(CampaignSpecDeathTest, CellCoordinatesPast32BitsAreRejected)
+{
+    // These fields are uint32_t; the old code parsed 64 bits and let
+    // the assignment truncate (4294967297 became row 1).
+    EXPECT_EXIT(CampaignSpec::parse("stuck=M0:4294967297:0:30:1"),
+                testing::ExitedWithCode(1), "bad");
+    EXPECT_EXIT(CampaignSpec::parse("flip_bits=16:4294967296"),
+                testing::ExitedWithCode(1), "bad");
+    EXPECT_EXIT(CampaignSpec::parse("kill_array=E:4294967296@1e-3"),
+                testing::ExitedWithCode(1), "bad");
+    EXPECT_EXIT(CampaignSpec::parse("kill_instance=4294967296@1e-3"),
+                testing::ExitedWithCode(1), "bad");
+}
+
+TEST(CampaignSpecDeathTest, HugeArrivalIndexIsRejectedNotWrapped)
+{
+    // The arrival index is stored in an int64 whose -1 means "unset";
+    // 2^63 would have aliased onto negative sentinels.
+    EXPECT_EXIT(
+        CampaignSpec::parse("kill_instance=1@#9223372036854775808"),
+        testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CampaignSpec, ArrivalIndexAtInt64MaxStillParses)
+{
+    const CampaignSpec spec =
+        CampaignSpec::parse("kill_instance=1@#9223372036854775807");
+    ASSERT_EQ(spec.instanceKills.size(), 1u);
+    EXPECT_EQ(spec.instanceKills[0].atArrival,
+              std::numeric_limits<std::int64_t>::max());
 }
 
 TEST(CampaignSpecDeathTest, InstanceKillNeedsExactlyOneTrigger)

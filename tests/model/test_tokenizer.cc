@@ -90,5 +90,49 @@ TEST(Tokenizer, AllResidueIdsWithinVocab)
         EXPECT_LT(tok.residueId(residue), tok.vocabSize());
 }
 
+// --- vocab-text loading (the fuzzed parser surface) -------------------
+
+TEST(TokenizerVocab, CanonicalTextRoundTrips)
+{
+    const AminoTokenizer tok;
+    const AminoTokenizer again =
+        AminoTokenizer::fromVocabText(tok.vocabText());
+    EXPECT_EQ(again.alphabet(), tok.alphabet());
+    EXPECT_EQ(again.vocabSize(), tok.vocabSize());
+}
+
+TEST(TokenizerVocab, CustomAlphabetCommentsAndLowercase)
+{
+    const AminoTokenizer tok = AminoTokenizer::fromVocabText(
+        "# reduced alphabet\n"
+        "[PAD]\n[UNK]\n[CLS]\n[SEP]\n[MASK]\n"
+        "\n"
+        "m\nK\n");
+    EXPECT_EQ(tok.alphabet(), "MK");
+    EXPECT_EQ(tok.vocabSize(), 7u);
+    EXPECT_EQ(tok.residueId('M'), 5u);
+    EXPECT_EQ(tok.residueId('k'), 6u);
+    EXPECT_EQ(tok.residueId('A'), kUnkToken);
+}
+
+TEST(TokenizerVocabDeathTest, MalformedVocabIsFatal)
+{
+    EXPECT_EXIT(AminoTokenizer::fromVocabText("[PAD]\n[UNK]\n[CLS]\n"),
+                testing::ExitedWithCode(1),
+                "ends before the five special tokens");
+    EXPECT_EXIT(AminoTokenizer::fromVocabText(
+                    "[UNK]\n[PAD]\n[CLS]\n[SEP]\n[MASK]\nA\n"),
+                testing::ExitedWithCode(1), "expected special token");
+    EXPECT_EXIT(AminoTokenizer::fromVocabText(
+                    "[PAD]\n[UNK]\n[CLS]\n[SEP]\n[MASK]\nA\nA\n"),
+                testing::ExitedWithCode(1), "duplicate residue");
+    EXPECT_EXIT(AminoTokenizer::fromVocabText(
+                    "[PAD]\n[UNK]\n[CLS]\n[SEP]\n[MASK]\nAB\n"),
+                testing::ExitedWithCode(1), "single letters");
+    EXPECT_EXIT(AminoTokenizer::fromVocabText(
+                    "[PAD]\n[UNK]\n[CLS]\n[SEP]\n[MASK]\n"),
+                testing::ExitedWithCode(1), "no residue entries");
+}
+
 } // namespace
 } // namespace prose

@@ -123,6 +123,38 @@ TEST(WeightsIoDeathTest, TrailingBytesInFileAreFatal)
                 "trailing bytes");
 }
 
+// readWeightsBuffer is the fuzzing entry point: same checks as the
+// file loader, including the trailing-junk rejection.
+TEST(WeightsIo, BufferRoundTripBitExact)
+{
+    const BertConfig config = BertConfig::tiny();
+    const BertWeights original = BertWeights::initialize(config, 5);
+    std::ostringstream out;
+    writeWeights(out, config, original);
+    const BertWeights loaded = readWeightsBuffer(out.str(), config);
+    std::ostringstream again;
+    writeWeights(again, config, loaded);
+    EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(WeightsIoDeathTest, BufferTrailingBytesAreFatal)
+{
+    const BertConfig config = BertConfig::tiny();
+    std::ostringstream out;
+    writeWeights(out, config, BertWeights::initialize(config, 5));
+    EXPECT_EXIT(readWeightsBuffer(out.str() + "x", config),
+                testing::ExitedWithCode(1), "trailing bytes");
+}
+
+TEST(WeightsIoDeathTest, BufferTruncationAndGarbageAreFatal)
+{
+    const BertConfig config = BertConfig::tiny();
+    EXPECT_EXIT(readWeightsBuffer("", config),
+                testing::ExitedWithCode(1), "not a ProSE weights");
+    EXPECT_EXIT(readWeightsBuffer("PRSW", config),
+                testing::ExitedWithCode(1), "truncated");
+}
+
 TEST(WeightsIoDeathTest, MissingFileIsFatal)
 {
     EXPECT_EXIT(readWeightsFile("/no/such/weights.bin",

@@ -69,6 +69,28 @@ TEST(Fasta, WriterWrapsAtSixtyColumns)
     EXPECT_EQ(line.size(), 30u);
 }
 
+// Fuzzing regression (see tests/fuzz/corpus/fasta): the reader used to
+// swallow arbitrary non-residue bytes. A '>' absorbed into a sequence
+// lands at a line start once the 60-column writer re-wraps it, and the
+// round-tripped file parsed as a DIFFERENT record list.
+TEST(FastaDeathTest, NonResidueBytesInSequenceAreFatal)
+{
+    std::istringstream gt(">A\nMK>V\n");
+    EXPECT_EXIT(readFasta(gt), testing::ExitedWithCode(1),
+                "invalid character '>' in sequence of FASTA record 'A'");
+    std::istringstream digit(">A\nMK7V\n");
+    EXPECT_EXIT(readFasta(digit), testing::ExitedWithCode(1),
+                "invalid character");
+}
+
+TEST(Fasta, StopAndGapCharactersAreStillAccepted)
+{
+    std::istringstream in(">A\nMSTAR-GAP*\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].sequence, "MSTAR-GAP*");
+}
+
 TEST(FastaDeathTest, SequenceBeforeHeaderIsFatal)
 {
     std::istringstream in("MEYQ\n");

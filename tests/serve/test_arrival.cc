@@ -1,6 +1,8 @@
 /** @file Tests for arrival generation and the hardened trace loader. */
 
 #include <cmath>
+#include <fstream>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -144,6 +146,45 @@ TEST(ArrivalsDeathTest, SpecValidation)
     empty_trace.kind = ArrivalKind::Trace;
     EXPECT_EXIT(empty_trace.validate(), testing::ExitedWithCode(1),
                 "empty trace");
+    ArrivalSpec dead_burst = poisson();
+    dead_burst.kind = ArrivalKind::Bursty;
+    dead_burst.burstPeriodSeconds = 0.0;
+    EXPECT_EXIT(dead_burst.validate(), testing::ExitedWithCode(1),
+                "burst period must be positive");
+    ArrivalSpec weak_burst = poisson();
+    weak_burst.kind = ArrivalKind::Bursty;
+    weak_burst.burstMultiplier = 0.5;
+    EXPECT_EXIT(weak_burst.validate(), testing::ExitedWithCode(1),
+                "burst multiplier must be >= 1");
+    ArrivalSpec dead_diurnal = poisson();
+    dead_diurnal.kind = ArrivalKind::Diurnal;
+    dead_diurnal.diurnalPeriodSeconds = -1.0;
+    EXPECT_EXIT(dead_diurnal.validate(), testing::ExitedWithCode(1),
+                "diurnal period must be positive");
+    ArrivalSpec wild_diurnal = poisson();
+    wild_diurnal.kind = ArrivalKind::Diurnal;
+    wild_diurnal.diurnalAmplitude = 1.0;
+    EXPECT_EXIT(wild_diurnal.validate(), testing::ExitedWithCode(1),
+                "diurnal amplitude");
+}
+
+TEST(ArrivalsDeathTest, DefaultSloMustBePositive)
+{
+    EXPECT_EXIT(generateArrivals(poisson(), 0.0),
+                testing::ExitedWithCode(1),
+                "default SLO must be positive");
+    EXPECT_EXIT(generateArrivals(poisson(),
+                                 std::numeric_limits<double>::infinity()),
+                testing::ExitedWithCode(1),
+                "default SLO must be positive");
+}
+
+TEST(Arrivals, KindNamesAreStable)
+{
+    EXPECT_STREQ(toString(ArrivalKind::Poisson), "poisson");
+    EXPECT_STREQ(toString(ArrivalKind::Bursty), "bursty");
+    EXPECT_STREQ(toString(ArrivalKind::Diurnal), "diurnal");
+    EXPECT_STREQ(toString(ArrivalKind::Trace), "trace");
 }
 
 std::vector<TraceArrival>
@@ -187,7 +228,8 @@ TEST(ArrivalTraceDeathTest, MalformedInputIsLineNumbered)
     EXPECT_EXIT(parseText("at=0 len=-4\n"), testing::ExitedWithCode(1),
                 "bad non-negative integer");
     EXPECT_EXIT(parseText("at=0 len=99999999999999999999999\n"),
-                testing::ExitedWithCode(1), "overflows");
+                testing::ExitedWithCode(1),
+                "bad non-negative integer for len");
     EXPECT_EXIT(parseText("at=0 len=126 slo=0\n"),
                 testing::ExitedWithCode(1), "slo must be positive");
     EXPECT_EXIT(parseText("garbage\n"), testing::ExitedWithCode(1),
@@ -196,10 +238,52 @@ TEST(ArrivalTraceDeathTest, MalformedInputIsLineNumbered)
                 testing::ExitedWithCode(1), "empty arrival trace");
 }
 
+// Fuzzing regressions (see tests/fuzz/corpus/arrival): priorities are
+// uint32_t, and the old code parsed 64 bits then truncated, so
+// prio=4294967297 silently became priority 1.
+TEST(ArrivalTraceDeathTest, PriorityPast32BitsIsRejectedNotTruncated)
+{
+    EXPECT_EXIT(parseText("at=0 len=126 prio=4294967297\n"),
+                testing::ExitedWithCode(1), "does not fit 32 bits");
+    EXPECT_EXIT(parseText("at=0 len=126 prio=-1\n"),
+                testing::ExitedWithCode(1), "bad non-negative integer");
+}
+
+TEST(ArrivalTrace, PriorityAtUint32MaxStillParses)
+{
+    const auto trace = parseText("at=0 len=126 prio=4294967295\n");
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].priority, 4294967295u);
+}
+
+TEST(ArrivalTraceDeathTest, NanTimestampsAreRejected)
+{
+    EXPECT_EXIT(parseText("at=nan len=126\n"),
+                testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT(parseText("at=0 len=126 slo=inf\n"),
+                testing::ExitedWithCode(1), "bad number");
+}
+
 TEST(ArrivalTraceDeathTest, MissingFileIsFatal)
 {
     EXPECT_EXIT(loadArrivalTrace("/nonexistent/trace.txt"),
                 testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ArrivalTrace, LoadsFromFile)
+{
+    const std::string path =
+        testing::TempDir() + "/prose_arrival_test.txt";
+    {
+        std::ofstream out(path);
+        out << "# two-record trace\n"
+               "at=0.0 len=126\n"
+               "at=0.5 len=251 prio=2 slo=0.2\n";
+    }
+    const auto trace = loadArrivalTrace(path);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[1].residues, 251u);
+    EXPECT_EQ(trace[1].priority, 2u);
 }
 
 } // namespace

@@ -153,5 +153,28 @@ TEST(StreamBufferDeathTest, ZeroDepthRejected)
     EXPECT_DEATH(StreamBuffer(0, 1.0), "depth");
 }
 
+// Fuzzing regression (fuzz_engine_equiv, corpus seed
+// seed_zero_fill_profile): a fill profile whose whole period is zero
+// never delivers an element, so tick() never succeeds and the stepped
+// engine livelocks. The buffer must reject it up front.
+TEST(StreamBufferDeathTest, AllZeroFillProfileRejected)
+{
+    StreamBuffer buffer(4, 1.0);
+    EXPECT_DEATH(buffer.setFillProfile({ 0.0 }),
+                 "supplies nothing over its period");
+    EXPECT_DEATH(buffer.setFillProfile({ 0.0, 0.0, 0.0 }),
+                 "supplies nothing over its period");
+}
+
+TEST(StreamBuffer, BurstProfileWithIdleTicksStillAccepted)
+{
+    StreamBuffer buffer(4, 1.0);
+    buffer.setFillProfile({ 0.0, 2.0 }); // idle tick, then a burst
+    EXPECT_FALSE(buffer.tick());         // nothing arrived yet
+    EXPECT_TRUE(buffer.tick());          // burst delivers
+    buffer.setFillProfile({});           // back to uniform supply
+    EXPECT_TRUE(buffer.uniformFill());
+}
+
 } // namespace
 } // namespace prose

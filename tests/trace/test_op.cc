@@ -93,6 +93,42 @@ TEST(Op, ToStringCoversAllEnums)
     EXPECT_STREQ(toString(OpKind::SoftmaxHost), "SoftmaxHost");
     EXPECT_STREQ(toString(Sublayer::Intermediate), "Intermediate");
     EXPECT_STREQ(toString(OpCategory::BatchedMatMul), "Batched Mat Mul");
+    EXPECT_STREQ(toString(OpCategory::MatMul), "Matrix Multiply");
+    EXPECT_STREQ(toString(OpCategory::Softmax), "Softmax");
+    EXPECT_STREQ(toString(OpCategory::Gelu), "GELU");
+    EXPECT_STREQ(toString(OpCategory::MatAdd), "Matrix Add");
+    EXPECT_STREQ(toString(OpCategory::MatDiv), "Matrix Div");
+    EXPECT_STREQ(toString(OpCategory::Other), "Other");
+}
+
+TEST(Op, ElementwiseBytesIn)
+{
+    // MulAdd streams two operand planes; the single-plane elementwise
+    // ops and the embedding gather stream one.
+    EXPECT_EQ(makeOp(OpKind::MulAdd, 2, 8, 0, 4).bytesIn(4),
+              2u * 2 * 8 * 4 * 4);
+    EXPECT_EQ(makeOp(OpKind::MatDiv, 2, 8, 0, 4).bytesIn(4),
+              2u * 8 * 4 * 4);
+    EXPECT_EQ(makeOp(OpKind::Transpose, 1, 8, 0, 4).bytesIn(2),
+              8u * 4 * 2);
+    EXPECT_EQ(makeOp(OpKind::Embed, 1, 16, 0, 64).bytesIn(4),
+              16u * 64 * 4);
+}
+
+TEST(Op, DescribeBatchedAndElementwiseShapes)
+{
+    Op bmm = makeOp(OpKind::Bmm, 12, 128, 64, 128);
+    bmm.sublayer = Sublayer::Attention;
+    const std::string bmm_text = bmm.describe();
+    EXPECT_NE(bmm_text.find("b=12"), std::string::npos);
+    EXPECT_NE(bmm_text.find("128x64x128"), std::string::npos);
+
+    Op norm = makeOp(OpKind::LayerNorm, 4, 128, 0, 768);
+    norm.sublayer = Sublayer::Output;
+    const std::string norm_text = norm.describe();
+    EXPECT_NE(norm_text.find("b=4"), std::string::npos);
+    EXPECT_NE(norm_text.find("128x768"), std::string::npos);
+    EXPECT_EQ(norm_text.find("128x0x768"), std::string::npos);
 }
 
 } // namespace

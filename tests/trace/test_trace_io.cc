@@ -99,7 +99,49 @@ TEST(TraceIoDeathTest, TrailingFieldsAreFatal)
 {
     std::istringstream in("MatMul Attention 0 1 8 16 4 0 surprise\n");
     EXPECT_EXIT(readTrace(in), testing::ExitedWithCode(1),
-                "trailing fields");
+                "want 8 fields, got 9");
+}
+
+// Fuzzing regressions (see tests/fuzz/corpus/trace_io): istream >>
+// into uint64_t sign-wraps "-1" to 2^64-1 with no failbit, and there
+// was no upper bound on dimensions, so a hostile trace could claim an
+// 18-quintillion-row matmul and die OOM in whichever consumer sized
+// buffers from it.
+TEST(TraceIoDeathTest, NegativeDimensionsAreRejectedNotWrapped)
+{
+    std::istringstream in("MatMul Attention 0 -1 8 16 4 0\n");
+    EXPECT_EXIT(readTrace(in), testing::ExitedWithCode(1),
+                "bad batch '-1' on trace line 1");
+}
+
+TEST(TraceIoDeathTest, DimensionsPastTheSanityBoundAreRejected)
+{
+    std::istringstream in("MatMul Attention 0 1 8589934592 16 4 0\n");
+    EXPECT_EXIT(readTrace(in), testing::ExitedWithCode(1),
+                "sanity bound");
+    std::istringstream overflow(
+        "MatMul Attention 0 1 99999999999999999999 16 4 0\n");
+    EXPECT_EXIT(readTrace(overflow), testing::ExitedWithCode(1),
+                "bad m");
+}
+
+TEST(TraceIoDeathTest, BroadcastMustBeZeroOrOne)
+{
+    std::istringstream in("MatMul Attention 0 1 8 16 4 2\n");
+    EXPECT_EXIT(readTrace(in), testing::ExitedWithCode(1),
+                "bad broadcast flag");
+}
+
+TEST(TraceIo, NegativeOneLayerIsTheOnlySignedField)
+{
+    std::istringstream in("Embed Embedding -1 1 128 1 64 0\n");
+    const OpTrace trace = readTrace(in);
+    ASSERT_EQ(trace.ops().size(), 1u);
+    EXPECT_EQ(trace.ops()[0].layer, -1);
+
+    std::istringstream minus_two("Embed Embedding -2 1 128 1 64 0\n");
+    EXPECT_EXIT(readTrace(minus_two), testing::ExitedWithCode(1),
+                "bad layer");
 }
 
 TEST(TraceIoDeathTest, MissingFileIsFatal)
